@@ -1,0 +1,34 @@
+//! Cuckoo filter microbenchmarks: the retransmission-detection lookups on
+//! the paper's host data path (§4.4 attributes ~300 ns to two of these).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vertigo_core::CuckooFilter;
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut f = CuckooFilter::with_capacity(65_536);
+    for k in 0..48_000u64 {
+        f.insert(k);
+    }
+    let mut k = 0u64;
+    c.bench_function("cuckoo/contains_hit", |b| {
+        b.iter(|| {
+            k = (k + 1) % 48_000;
+            black_box(f.contains(k))
+        })
+    });
+    c.bench_function("cuckoo/contains_miss", |b| {
+        b.iter(|| {
+            k += 1;
+            black_box(f.contains(1_000_000 + k))
+        })
+    });
+    c.bench_function("cuckoo/insert_remove", |b| {
+        b.iter(|| {
+            f.insert(black_box(500_000));
+            f.remove(black_box(500_000))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cuckoo);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end throughput of the simulator itself: simulated events per
+//! wall second under each switch policy, on a small incast scenario.
+//! (Not a paper figure — it calibrates how far the harness can scale.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vertigo_simcore::SimDuration;
+use vertigo_transport::CcKind;
+use vertigo_workload::{
+    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let workload = WorkloadSpec {
+        background: Some(BackgroundSpec {
+            load: 0.30,
+            dist: DistKind::CacheFollower,
+        }),
+        incast: Some(IncastSpec {
+            qps: 1000.0,
+            scale: 8,
+            flow_bytes: 40_000,
+        }),
+    };
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    for sys in SystemKind::all() {
+        g.bench_function(format!("sim_2ms_{}", sys.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut spec = RunSpec::new(sys, CcKind::Dctcp, workload);
+                    spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+                    spec.horizon = SimDuration::from_millis(2);
+                    spec.build()
+                },
+                |mut sim| sim.run(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! PIEO queue microbenchmarks: the switch scheduling primitive. The
+//! paper's FPGA extension does enqueue/extract in 4 cycles; this measures
+//! the software model's push / pop-min (transmit) / pop-max (victimize).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vertigo_core::PieoQueue;
+
+fn bench_pieo(c: &mut Criterion) {
+    // Steady-state queue of ~200 packets (300 KB of MTUs).
+    c.bench_function("pieo/push_pop_min_depth200", |b| {
+        let mut q = PieoQueue::new();
+        let mut r = 1u64;
+        for _ in 0..200 {
+            r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(r >> 40, ());
+        }
+        b.iter(|| {
+            r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(black_box(r >> 40), ());
+            black_box(q.pop_min())
+        })
+    });
+    c.bench_function("pieo/push_pop_max_depth200", |b| {
+        let mut q = PieoQueue::new();
+        let mut r = 1u64;
+        for _ in 0..200 {
+            r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(r >> 40, ());
+        }
+        b.iter(|| {
+            r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(black_box(r >> 40), ());
+            black_box(q.pop_max())
+        })
+    });
+    c.bench_function("pieo/peek_max_rank", |b| {
+        let mut q = PieoQueue::new();
+        for i in 0..200u64 {
+            q.push(i * 37 % 1000, ());
+        }
+        b.iter(|| black_box(q.peek_max_rank()))
+    });
+}
+
+criterion_group!(benches, bench_pieo);
+criterion_main!(benches);

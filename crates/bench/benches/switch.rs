@@ -1,0 +1,78 @@
+//! Switch hot-path microbenchmarks: queue disciplines under the packet
+//! sizes and occupancies the simulations actually see.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vertigo_netsim::PortQueue;
+use vertigo_pkt::{DataSeg, FlowId, FlowInfo, NodeId, Packet, QueryId};
+use vertigo_simcore::SimTime;
+
+fn mk_pkt(uid: u64, rfs: u32) -> Box<Packet> {
+    let mut p = Packet::data(
+        uid,
+        FlowId(uid % 64),
+        QueryId::NONE,
+        NodeId(0),
+        NodeId(1),
+        DataSeg {
+            seq: 0,
+            payload: 1460,
+            flow_bytes: rfs as u64,
+            retransmit: false,
+            trimmed: false,
+        },
+        true,
+        SimTime::ZERO,
+    );
+    p.tag_flowinfo(FlowInfo {
+        rfs,
+        retcnt: 0,
+        flow_seq: 0,
+        first: false,
+    });
+    Box::new(p)
+}
+
+fn bench_queues(c: &mut Criterion) {
+    c.bench_function("switch/fifo_push_pop", |b| {
+        let mut q = PortQueue::fifo();
+        let mut uid = 0u64;
+        for _ in 0..100 {
+            uid += 1;
+            q.push(mk_pkt(uid, 10_000));
+        }
+        b.iter(|| {
+            uid += 1;
+            q.push(mk_pkt(uid, (uid % 100_000) as u32));
+            black_box(q.pop_next())
+        })
+    });
+    c.bench_function("switch/prio_push_pop", |b| {
+        let mut q = PortQueue::prio(1);
+        let mut uid = 0u64;
+        for _ in 0..100 {
+            uid += 1;
+            q.push(mk_pkt(uid, (uid * 977 % 100_000) as u32));
+        }
+        b.iter(|| {
+            uid += 1;
+            q.push(mk_pkt(uid, (uid * 977 % 100_000) as u32));
+            black_box(q.pop_next())
+        })
+    });
+    c.bench_function("switch/prio_evict_worst", |b| {
+        let mut q = PortQueue::prio(1);
+        let mut uid = 0u64;
+        for _ in 0..200 {
+            uid += 1;
+            q.push(mk_pkt(uid, (uid * 977 % 100_000) as u32));
+        }
+        b.iter(|| {
+            uid += 1;
+            q.push(mk_pkt(uid, (uid * 977 % 100_000) as u32));
+            black_box(q.evict_worst())
+        })
+    });
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion microbenchmarks for the Vertigo reproduction (see `benches/`).

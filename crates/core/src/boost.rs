@@ -1,0 +1,151 @@
+//! Retransmission boosting (paper §3.1.2).
+//!
+//! Persistently deflecting or dropping packets of large flows can starve
+//! them: their packets always carry the largest RFS and are always the
+//! victim. Vertigo *boosts* retransmitted packets by dividing their
+//! effective RFS by a boosting factor (a power of two) per retransmission.
+//!
+//! To keep the operation reversible at the receiver without any per-packet
+//! state, the wire transformation is a **bitwise rotation** of the 32-bit
+//! RFS field: `retcnt` counts how many boosts were applied, and the
+//! receiver undoes them with left rotations. Scheduling uses the *logical*
+//! boosted value (un-rotate, then shift — see `FlowInfo::rank`), so odd RFS
+//! values do not wrap into the high bits and accidentally deprioritize the
+//! packet.
+
+/// Maximum value of the 4-bit `retcnt` field: up to 15 recorded
+/// retransmissions (the paper's "up to 16 re-transmissions" counts the
+/// original transmission).
+pub const MAX_RETCNT: u8 = 15;
+
+/// Converts a boosting *factor* (2, 4, 8, ...) to the per-retransmission
+/// rotation amount in bits.
+///
+/// # Panics
+/// Panics if `factor` is not a power of two or is zero/one. The paper
+/// restricts boosting factors to powers of two so that rotations implement
+/// exact division.
+pub fn factor_to_shift(factor: u32) -> u32 {
+    assert!(
+        factor >= 2 && factor.is_power_of_two(),
+        "boosting factor must be a power of two >= 2, got {factor}"
+    );
+    factor.trailing_zeros()
+}
+
+/// Applies one boost step to a wire RFS field: a right rotation by `shift`
+/// bits.
+#[inline]
+pub fn boost_once(rfs: u32, shift: u32) -> u32 {
+    rfs.rotate_right(shift % 32)
+}
+
+/// Recovers the original RFS from a wire field that has been boosted
+/// `retcnt` times at `shift` bits per boost.
+#[inline]
+pub fn unboost(rfs: u32, retcnt: u8, shift: u32) -> u32 {
+    rfs.rotate_left(((retcnt as u32) * shift) % 32)
+}
+
+/// The logical (scheduling) value of a boosted field: original RFS divided
+/// by `2^(retcnt*shift)`.
+#[inline]
+pub fn logical_rfs(wire_rfs: u32, retcnt: u8, shift: u32) -> u32 {
+    let k = ((retcnt as u32) * shift).min(31);
+    unboost(wire_rfs, retcnt, shift) >> k
+}
+
+/// How many boosts a 32-bit field can absorb before rotations wrap: with a
+/// 2× factor (shift 1) that is 31 steps, comfortably above [`MAX_RETCNT`].
+pub fn max_boosts(shift: u32) -> u8 {
+    if shift == 0 {
+        return MAX_RETCNT;
+    }
+    ((31 / shift) as u8).min(MAX_RETCNT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factor_shift_mapping() {
+        assert_eq!(factor_to_shift(2), 1);
+        assert_eq!(factor_to_shift(4), 2);
+        assert_eq!(factor_to_shift(8), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power() {
+        factor_to_shift(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_one() {
+        factor_to_shift(1);
+    }
+
+    #[test]
+    fn boost_halves_even_values() {
+        // For even RFS, a 1-bit right rotation is exactly division by two.
+        assert_eq!(boost_once(20_000, 1), 10_000);
+        assert_eq!(boost_once(10_000, 1), 5_000);
+    }
+
+    #[test]
+    fn unboost_recovers_original() {
+        let orig = 123_457u32; // odd on purpose
+        let mut wire = orig;
+        for retcnt in 1..=5u8 {
+            wire = boost_once(wire, 1);
+            assert_eq!(unboost(wire, retcnt, 1), orig);
+        }
+    }
+
+    #[test]
+    fn logical_rfs_divides() {
+        let orig = 40_001u32;
+        let wire = boost_once(boost_once(orig, 1), 1);
+        assert_eq!(logical_rfs(wire, 2, 1), orig >> 2);
+        // 4x factor: one boost divides by 4.
+        let wire4 = boost_once(orig, 2);
+        assert_eq!(logical_rfs(wire4, 1, 2), orig >> 2);
+    }
+
+    #[test]
+    fn max_boost_counts() {
+        assert_eq!(max_boosts(1), 15); // capped by the 4-bit retcnt field
+        assert_eq!(max_boosts(2), 15);
+        assert_eq!(max_boosts(3), 10);
+        assert_eq!(max_boosts(31), 1);
+    }
+
+    proptest! {
+        /// Boost/unboost round-trips for any RFS, any shift, any count.
+        #[test]
+        fn roundtrip(orig: u32, shift in 1u32..4, n in 0u8..=15) {
+            let mut wire = orig;
+            for _ in 0..n {
+                wire = boost_once(wire, shift);
+            }
+            prop_assert_eq!(unboost(wire, n, shift), orig);
+        }
+
+        /// Logical RFS is monotonically non-increasing in retransmission
+        /// count — boosting never *raises* a packet's rank.
+        #[test]
+        fn boosting_never_raises_rank(orig: u32, shift in 1u32..4) {
+            let mut wire = orig;
+            let mut prev = logical_rfs(wire, 0, shift);
+            for retcnt in 1..=max_boosts(shift) {
+                wire = boost_once(wire, shift);
+                let cur = logical_rfs(wire, retcnt, shift);
+                prop_assert!(cur <= prev, "rank rose: {} -> {}", prev, cur);
+                prev = cur;
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The TX-path marking component (paper §3.1).
+//!
+//! Sits between the transport and the NIC on the sender. For every outgoing
+//! data packet it:
+//!
+//! 1. looks the packet up in a [`CuckooFilter`] keyed by (flow, sequence) —
+//!    a hit means the packet was transmitted before, i.e. it is a
+//!    retransmission;
+//! 2. computes the packet's original RFS from the flow table (SRPT: bytes
+//!    remaining including this packet; LAS: packets already sent by the
+//!    flow);
+//! 3. applies the boosting rotation `retcnt` times for retransmissions and
+//!    emits the [`FlowInfo`] header to tag onto the packet.
+//!
+//! Flow state is registered when the application opens a flow (advance
+//! flow-size knowledge; see the paper's §4.3 for the LAS fallback when
+//! sizes are unknown) and removed when the flow completes.
+
+use crate::boost;
+use crate::cuckoo::CuckooFilter;
+use std::collections::HashMap;
+use vertigo_pkt::{mix64, FlowId, FlowInfo, NodeId, MAX_PAYLOAD};
+
+/// Which quantity the RFS field carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkingDiscipline {
+    /// Shortest Remaining Processing Time: RFS = bytes left in the flow,
+    /// including the tagged packet. Requires flow sizes up front.
+    Srpt,
+    /// Least Attained Service ("flow aging", §4.3): RFS = number of packets
+    /// the flow has already transmitted. No advance size knowledge needed.
+    Las,
+}
+
+/// Marking component configuration.
+#[derive(Debug, Clone)]
+pub struct MarkingConfig {
+    /// SRPT or LAS.
+    pub discipline: MarkingDiscipline,
+    /// Retransmission boosting factor (power of two ≥ 2), or `None` to
+    /// disable boosting (paper Fig. 11b's leftmost columns).
+    pub boost_factor: Option<u32>,
+    /// Capacity of the retransmission-detection cuckoo filter, in packets.
+    pub filter_capacity: usize,
+}
+
+impl Default for MarkingConfig {
+    fn default() -> Self {
+        MarkingConfig {
+            discipline: MarkingDiscipline::Srpt,
+            boost_factor: Some(2),
+            filter_capacity: 65_536,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowTx {
+    /// Total flow size in bytes.
+    total: u64,
+    /// The 3-bit rolling flow counter assigned to this flow.
+    flow_seq: u8,
+    /// Packets transmitted so far (fresh transmissions only) — the LAS age.
+    age_pkts: u64,
+    /// Destination, kept for diagnostics.
+    #[allow(dead_code)]
+    dst: NodeId,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MarkingStats {
+    /// Packets tagged in total.
+    pub marked: u64,
+    /// Retransmissions detected via the cuckoo filter.
+    pub retransmissions: u64,
+    /// Packets whose filter insert was rejected (filter past design load).
+    pub filter_overflows: u64,
+}
+
+/// The sender-side marking component. One instance per host.
+pub struct MarkingComponent {
+    cfg: MarkingConfig,
+    /// Per-retransmission rotation in bits; 0 when boosting is disabled.
+    shift: u32,
+    flows: HashMap<FlowId, FlowTx>,
+    filter: CuckooFilter,
+    /// retcnt per (flow, seq) — only populated once a retransmission is
+    /// detected, so its footprint tracks loss, not traffic.
+    retx: HashMap<(FlowId, u64), u8>,
+    /// Rolling 3-bit flow counter per destination host.
+    dst_counters: HashMap<NodeId, u8>,
+    stats: MarkingStats,
+}
+
+impl MarkingComponent {
+    /// Creates a marking component.
+    pub fn new(cfg: MarkingConfig) -> Self {
+        let shift = cfg.boost_factor.map(boost::factor_to_shift).unwrap_or(0);
+        let filter = CuckooFilter::with_capacity(cfg.filter_capacity);
+        MarkingComponent {
+            cfg,
+            shift,
+            flows: HashMap::new(),
+            filter,
+            retx: HashMap::new(),
+            dst_counters: HashMap::new(),
+            stats: MarkingStats::default(),
+        }
+    }
+
+    /// The per-retransmission rotation amount (bits).
+    pub fn boost_shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The active discipline.
+    pub fn discipline(&self) -> MarkingDiscipline {
+        self.cfg.discipline
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MarkingStats {
+        self.stats
+    }
+
+    /// Number of flows currently tracked.
+    pub fn flows_tracked(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Registers an outgoing flow of `total` bytes toward `dst`, assigning
+    /// its 3-bit flow counter. Must be called before the first `mark`.
+    pub fn register_flow(&mut self, flow: FlowId, dst: NodeId, total: u64) -> u8 {
+        let ctr = self.dst_counters.entry(dst).or_insert(0);
+        let flow_seq = *ctr;
+        *ctr = (*ctr + 1) & 0x7;
+        self.flows.insert(
+            flow,
+            FlowTx {
+                total,
+                flow_seq,
+                age_pkts: 0,
+                dst,
+            },
+        );
+        flow_seq
+    }
+
+    #[inline]
+    fn key(flow: FlowId, seq: u64) -> u64 {
+        mix64(flow.0 ^ mix64(seq))
+    }
+
+    /// Tags one outgoing data segment, returning the flowinfo header to put
+    /// on the wire.
+    ///
+    /// `seq` is the byte offset of the segment in the flow, `payload` its
+    /// length. Retransmissions are detected internally; callers do not need
+    /// to say whether this is a retransmission (that is the point of the
+    /// cuckoo filter — the marking component is transport-independent).
+    ///
+    /// # Panics
+    /// Panics if the flow was not registered.
+    pub fn mark(&mut self, flow: FlowId, seq: u64, payload: u32) -> FlowInfo {
+        debug_assert!(payload > 0 && payload <= MAX_PAYLOAD);
+        let shift = self.shift;
+        let fl = self
+            .flows
+            .get_mut(&flow)
+            .expect("mark() on unregistered flow");
+        self.stats.marked += 1;
+
+        let key = Self::key(flow, seq);
+        let retcnt = if self.filter.contains(key) {
+            // Retransmission: bump its boost count (saturating at what the
+            // 4-bit field and 32-bit rotation can absorb).
+            self.stats.retransmissions += 1;
+            let cap = if shift == 0 {
+                boost::MAX_RETCNT
+            } else {
+                boost::max_boosts(shift)
+            };
+            let e = self.retx.entry((flow, seq)).or_insert(0);
+            *e = (*e + 1).min(cap);
+            *e
+        } else {
+            if !self.filter.insert(key) {
+                self.stats.filter_overflows += 1;
+            }
+            0
+        };
+
+        let orig_rfs: u32 = match self.cfg.discipline {
+            MarkingDiscipline::Srpt => {
+                // Remaining bytes including this packet. For the last packet
+                // of a flow this equals the payload length (paper §3.1).
+                let remaining = fl.total.saturating_sub(seq);
+                u32::try_from(remaining).unwrap_or(u32::MAX)
+            }
+            MarkingDiscipline::Las => {
+                // Flow age in packets: 0 for the first packet, growing.
+                u32::try_from(fl.age_pkts).unwrap_or(u32::MAX)
+            }
+        };
+        if retcnt == 0 {
+            fl.age_pkts += 1;
+        }
+
+        let wire_rfs = if self.shift == 0 {
+            orig_rfs
+        } else {
+            let mut v = orig_rfs;
+            for _ in 0..retcnt {
+                v = boost::boost_once(v, self.shift);
+            }
+            v
+        };
+
+        FlowInfo {
+            rfs: wire_rfs,
+            // With boosting disabled retcnt stays 0 on the wire so switches
+            // and receivers apply no un-rotation.
+            retcnt: if self.shift == 0 { 0 } else { retcnt },
+            flow_seq: fl.flow_seq,
+            first: seq == 0,
+        }
+    }
+
+    /// Removes all state for a completed flow: the flow-table entry, its
+    /// retransmission counters, and its cuckoo-filter fingerprints
+    /// (segments are MSS-aligned, so the key set is reconstructible).
+    pub fn complete_flow(&mut self, flow: FlowId) {
+        if let Some(fl) = self.flows.remove(&flow) {
+            let mut seq = 0u64;
+            while seq < fl.total {
+                self.filter.remove(Self::key(flow, seq));
+                seq += MAX_PAYLOAD as u64;
+            }
+        }
+        self.retx.retain(|(f, _), _| *f != flow);
+    }
+}
+
+impl std::fmt::Debug for MarkingComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MarkingComponent")
+            .field("discipline", &self.cfg.discipline)
+            .field("flows", &self.flows.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::unboost;
+
+    fn comp(discipline: MarkingDiscipline, factor: Option<u32>) -> MarkingComponent {
+        MarkingComponent::new(MarkingConfig {
+            discipline,
+            boost_factor: factor,
+            filter_capacity: 4096,
+        })
+    }
+
+    #[test]
+    fn srpt_rfs_counts_down() {
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let f = FlowId(1);
+        m.register_flow(f, NodeId(9), 4000);
+        let a = m.mark(f, 0, 1460);
+        let b = m.mark(f, 1460, 1460);
+        let c = m.mark(f, 2920, 1080);
+        assert_eq!(a.rfs, 4000);
+        assert!(a.first);
+        assert_eq!(b.rfs, 4000 - 1460);
+        assert!(!b.first);
+        // Last packet: RFS equals its payload length (paper §3.1).
+        assert_eq!(c.rfs, 1080);
+    }
+
+    #[test]
+    fn las_rfs_counts_up() {
+        let mut m = comp(MarkingDiscipline::Las, Some(2));
+        let f = FlowId(2);
+        m.register_flow(f, NodeId(9), 1 << 20);
+        assert_eq!(m.mark(f, 0, 1460).rfs, 0);
+        assert_eq!(m.mark(f, 1460, 1460).rfs, 1);
+        assert_eq!(m.mark(f, 2920, 1460).rfs, 2);
+    }
+
+    #[test]
+    fn retransmissions_detected_and_boosted() {
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let f = FlowId(3);
+        m.register_flow(f, NodeId(9), 20_000);
+        let orig = m.mark(f, 0, 1460);
+        assert_eq!(orig.retcnt, 0);
+        let rtx1 = m.mark(f, 0, 1460);
+        assert_eq!(rtx1.retcnt, 1);
+        assert_eq!(unboost(rtx1.rfs, rtx1.retcnt, 1), orig.rfs);
+        assert_eq!(rtx1.rank(1), (orig.rfs >> 1) as u64, "one boost halves the rank");
+        let rtx2 = m.mark(f, 0, 1460);
+        assert_eq!(rtx2.retcnt, 2);
+        assert_eq!(rtx2.rank(1), (orig.rfs >> 2) as u64);
+        assert_eq!(m.stats().retransmissions, 2);
+    }
+
+    #[test]
+    fn boosting_disabled_keeps_raw_rfs() {
+        let mut m = comp(MarkingDiscipline::Srpt, None);
+        let f = FlowId(4);
+        m.register_flow(f, NodeId(9), 10_000);
+        let a = m.mark(f, 0, 1460);
+        let rtx = m.mark(f, 0, 1460);
+        assert_eq!(rtx.rfs, a.rfs, "no rotation without boosting");
+        assert_eq!(rtx.retcnt, 0);
+        // Still *detected* (stat), just not boosted.
+        assert_eq!(m.stats().retransmissions, 1);
+    }
+
+    #[test]
+    fn flow_seq_rolls_per_destination() {
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let d1 = NodeId(1);
+        let d2 = NodeId(2);
+        let seqs: Vec<u8> = (0..10)
+            .map(|i| m.register_flow(FlowId(100 + i), d1, 1000))
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5, 6, 7, 0, 1]);
+        // Independent counter per destination.
+        assert_eq!(m.register_flow(FlowId(999), d2, 1000), 0);
+    }
+
+    #[test]
+    fn complete_flow_clears_filter() {
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let f = FlowId(5);
+        m.register_flow(f, NodeId(9), 5 * 1460);
+        for k in 0..5u64 {
+            m.mark(f, k * 1460, 1460);
+        }
+        m.complete_flow(f);
+        assert_eq!(m.flows_tracked(), 0);
+        // Re-registering and re-sending the same offsets must NOT look like
+        // retransmissions.
+        m.register_flow(f, NodeId(9), 5 * 1460);
+        let info = m.mark(f, 0, 1460);
+        assert_eq!(info.retcnt, 0);
+        assert_eq!(m.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn retcnt_saturates_at_field_width() {
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let f = FlowId(6);
+        m.register_flow(f, NodeId(9), 1460);
+        let mut last = 0;
+        for _ in 0..40 {
+            last = m.mark(f, 0, 1460).retcnt;
+        }
+        assert!(last <= boost::MAX_RETCNT);
+        assert_eq!(last, boost::MAX_RETCNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unregistered_flow_panics() {
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        m.mark(FlowId(7), 0, 100);
+    }
+
+    #[test]
+    fn srpt_rank_orders_flows_by_remaining() {
+        // The whole point: a nearly-done elephant outranks a fresh mouse.
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let big = FlowId(10);
+        let small = FlowId(11);
+        m.register_flow(big, NodeId(1), 10_000_000);
+        m.register_flow(small, NodeId(1), 3_000);
+        let big_info = m.mark(big, 0, 1460);
+        let small_info = m.mark(small, 0, 1460);
+        assert!(big_info.rank(1) > small_info.rank(1));
+        // Near the end of the elephant, its packets outrank a fresh mouse's.
+        let big_tail = m.mark(big, 9_998_540, 1460);
+        assert!(big_tail.rank(1) < small_info.rank(1));
+    }
+}

@@ -1,0 +1,302 @@
+//! Shared infrastructure for the reproduction harness: scale presets,
+//! load arithmetic, table printing, and CSV output.
+//!
+//! ## Scaling
+//!
+//! The paper simulates 320 servers for 5 s per datapoint — hours of wall
+//! time per figure on one core. The harness therefore defaults to a scaled
+//! topology that preserves the quantities the results depend on (2.5:1
+//! leaf oversubscription, 300 KB port buffers, 10/40 Gbps links, buffer ≈
+//! 1.5× path BDP, incast fan-in as a fraction of cluster size) while
+//! shrinking host count and horizon. `--full` runs paper scale;
+//! `--quick` is for smoke tests. EXPERIMENTS.md records which preset
+//! produced the committed numbers.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use vertigo_simcore::SimDuration;
+use vertigo_workload::{IncastSpec, TopoKind};
+
+/// Scale preset for a harness invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Hosts per leaf in the 4×8 leaf-spine (paper: 40).
+    pub hosts_per_leaf: usize,
+    /// Fat-tree arity (paper: 8).
+    pub ft_k: usize,
+    /// Horizon for leaf-spine runs (paper: 5 s).
+    pub horizon: SimDuration,
+    /// Horizon for fat-tree runs (paper: 3 s).
+    pub ft_horizon: SimDuration,
+    /// Default incast scale (paper: 100 of 320 hosts ≈ 31 %).
+    pub incast_scale: usize,
+    /// Default incast flow size (paper: 40 KB).
+    pub incast_flow: u64,
+    /// Preset name for reports.
+    pub name: &'static str,
+}
+
+impl Scale {
+    /// Smoke-test scale: 32 hosts, 20 ms.
+    pub fn quick() -> Scale {
+        Scale {
+            hosts_per_leaf: 4,
+            ft_k: 4,
+            horizon: SimDuration::from_millis(20),
+            ft_horizon: SimDuration::from_millis(20),
+            incast_scale: 10,
+            incast_flow: 40_000,
+            name: "quick",
+        }
+    }
+
+    /// Default scale: 64 hosts, 60 ms (leaf-spine) / 128 hosts, 30 ms
+    /// (fat-tree). Incast fan-in 20/64 ≈ paper's 100/320.
+    pub fn default_scale() -> Scale {
+        Scale {
+            hosts_per_leaf: 8,
+            ft_k: 8,
+            horizon: SimDuration::from_millis(60),
+            ft_horizon: SimDuration::from_millis(30),
+            incast_scale: 20,
+            incast_flow: 40_000,
+            name: "default",
+        }
+    }
+
+    /// Paper scale: 320 hosts, 500 ms horizon (the paper's 5 s horizon
+    /// exists to catch second-scale RTO tails; 500 ms already exposes
+    /// them via completion ratios).
+    pub fn full() -> Scale {
+        Scale {
+            hosts_per_leaf: 40,
+            ft_k: 8,
+            horizon: SimDuration::from_millis(500),
+            ft_horizon: SimDuration::from_millis(300),
+            incast_scale: 100,
+            incast_flow: 40_000,
+            name: "full",
+        }
+    }
+
+    /// The leaf-spine topology at this scale.
+    pub fn leaf_spine(&self) -> TopoKind {
+        TopoKind::LeafSpine {
+            hosts_per_leaf: self.hosts_per_leaf,
+        }
+    }
+
+    /// The fat-tree topology at this scale.
+    pub fn fat_tree(&self) -> TopoKind {
+        TopoKind::FatTree { k: self.ft_k }
+    }
+
+    /// Host count of the leaf-spine at this scale.
+    pub fn ls_hosts(&self) -> usize {
+        8 * self.hosts_per_leaf
+    }
+
+    /// Aggregate host bandwidth of the leaf-spine (10 Gbps hosts).
+    pub fn ls_total_bw(&self) -> u64 {
+        self.ls_hosts() as u64 * 10_000_000_000
+    }
+
+    /// Host count of the fat-tree at this scale.
+    pub fn ft_hosts(&self) -> usize {
+        self.ft_k.pow(3) / 4
+    }
+
+    /// Aggregate host bandwidth of the fat-tree.
+    pub fn ft_total_bw(&self) -> u64 {
+        self.ft_hosts() as u64 * 10_000_000_000
+    }
+
+    /// An incast spec contributing `load` fraction on the leaf-spine, at
+    /// this scale's default fan-in and flow size.
+    pub fn incast_for_load(&self, load: f64) -> IncastSpec {
+        IncastSpec {
+            qps: IncastSpec::qps_for_load(load, self.incast_scale, self.incast_flow, self.ls_total_bw()),
+            scale: self.incast_scale,
+            flow_bytes: self.incast_flow,
+        }
+    }
+}
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Seed for every run (figures use seed, seed+1, ... for repeats).
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub outdir: PathBuf,
+}
+
+impl Opts {
+    /// Parses `[--quick|--full] [--seed N] [--out DIR]` from args.
+    pub fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut scale = Scale::default_scale();
+        let mut seed = 1u64;
+        let mut outdir = PathBuf::from("results");
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => scale = Scale::quick(),
+                "--full" => scale = Scale::full(),
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?;
+                }
+                "--out" => {
+                    outdir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                }
+                other => return Err(format!("unknown option: {other}")),
+            }
+        }
+        Ok(Opts {
+            scale,
+            seed,
+            outdir,
+        })
+    }
+}
+
+/// A simple aligned-column table printer for figure output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `<outdir>/<name>.csv`.
+    pub fn emit(&self, opts: &Opts, name: &str) {
+        println!("{}", self.render());
+        let _ = std::fs::create_dir_all(&opts.outdir);
+        let path = opts.outdir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv] {}", path.display());
+        }
+    }
+}
+
+/// Formats seconds with an auto unit (matches the paper's axes).
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_string()
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_load_solves_correctly() {
+        let s = Scale::default_scale();
+        let inc = s.incast_for_load(0.30);
+        let back = inc.offered_load(s.ls_total_bw());
+        assert!((back - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opts_parse() {
+        let o = Opts::parse(&[
+            "--quick".into(),
+            "--seed".into(),
+            "7".into(),
+            "--out".into(),
+            "/tmp/x".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.scale.name, "quick");
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.outdir, PathBuf::from("/tmp/x"));
+        assert!(Opts::parse(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn table_renders_and_csvs() {
+        let mut t = Table::new(&["load", "qct"]);
+        t.row(vec!["35%".into(), "1.2ms".into()]);
+        let r = t.render();
+        assert!(r.contains("load"));
+        assert!(r.contains("1.2ms"));
+        assert_eq!(t.to_csv(), "load,qct\n35%,1.2ms\n");
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(0.0035), "3.50ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(42e-6), "42.0us");
+        assert_eq!(fmt_pct(0.985), "98.5%");
+    }
+}

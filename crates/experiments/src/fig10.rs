@@ -1,0 +1,39 @@
+//! Figure 10: burstiness sweep at fixed 80 % aggregate load — incast
+//! arrival rate rises while background load falls to compensate.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run(opts: &Opts) {
+    println!("== Figure 10: incast arrival-rate sweep at fixed 80% load ==\n");
+    let s = &opts.scale;
+    let mut t = Table::new(&["incast_load%", "kqps", "system", "mean_qct", "p99_fct", "drops"]);
+    for incast_pct in [4u32, 8, 12, 16, 20, 24, 28] {
+        let inc = s.incast_for_load(incast_pct as f64 / 100.0);
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: (80 - incast_pct) as f64 / 100.0,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(inc),
+        };
+        for sys in SystemKind::all() {
+            let mut spec = RunSpec::new(sys, CcKind::Dctcp, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            let out = spec.run();
+            let r = &out.report;
+            t.row(vec![
+                incast_pct.to_string(),
+                format!("{:.1}", inc.qps / 1000.0),
+                sys.name().to_string(),
+                fmt_secs(r.qct_mean),
+                fmt_secs(r.fct_p99),
+                r.drops.to_string(),
+            ]);
+        }
+    }
+    t.emit(opts, "fig10");
+}

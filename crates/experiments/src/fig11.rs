@@ -1,0 +1,88 @@
+//! Figure 11: component analysis.
+//!
+//! * (a) ablations — full Vertigo vs. no-deflection, no-scheduling, and
+//!   no-ordering across a load sweep (50 % background + incast);
+//! * (b) boosting — completed-query ratio with boosting off / 2x / 4x / 8x
+//!   at 25 % and 75 % background load under a heavy incast.
+
+use crate::common::{fmt_pct, fmt_secs, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run_a(opts: &Opts) {
+    println!("== Figure 11a: Vertigo ablations (50% BG + incast sweep) ==\n");
+    let s = &opts.scale;
+    let variants: [(&str, fn(&mut RunSpec)); 4] = [
+        ("Vertigo", |_| {}),
+        ("NoDeflection", |sp| sp.vertigo.deflection = false),
+        ("NoScheduling", |sp| sp.vertigo.scheduling = false),
+        ("NoOrdering", |sp| sp.vertigo.ordering = false),
+    ];
+    let mut t = Table::new(&[
+        "load%", "variant", "mean_qct", "mean_fct", "goodput_gbps", "drops", "reorder_rate",
+    ]);
+    for total in (55..=95).step_by(10) {
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.50,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(s.incast_for_load((total - 50) as f64 / 100.0)),
+        };
+        for (name, tweak) in variants {
+            let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            tweak(&mut spec);
+            let out = spec.run();
+            let r = &out.report;
+            t.row(vec![
+                total.to_string(),
+                name.to_string(),
+                fmt_secs(r.qct_mean),
+                fmt_secs(r.fct_mean),
+                format!("{:.2}", r.goodput_gbps),
+                r.drops.to_string(),
+                format!("{:.4}", r.reorder_rate),
+            ]);
+        }
+    }
+    t.emit(opts, "fig11a");
+}
+
+pub fn run_b(opts: &Opts) {
+    println!("== Figure 11b: retransmission boosting (queries completed) ==\n");
+    let s = &opts.scale;
+    let mut t = Table::new(&["bg%", "boosting", "completed_queries", "mean_qct", "retransmits"]);
+    for bg in [0.25, 0.75] {
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: bg,
+                dist: DistKind::CacheFollower,
+            }),
+            // Incast pushes aggregate load to ~95 %.
+            incast: Some(s.incast_for_load(0.95 - bg)),
+        };
+        for factor in [None, Some(2u32), Some(4), Some(8)] {
+            let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            spec.vertigo.boost_factor = factor;
+            let out = spec.run();
+            let r = &out.report;
+            t.row(vec![
+                format!("{}", (bg * 100.0) as u32),
+                match factor {
+                    None => "off".to_string(),
+                    Some(f) => format!("x{f}"),
+                },
+                fmt_pct(r.query_completion_ratio()),
+                fmt_secs(r.qct_mean),
+                r.retransmits.to_string(),
+            ]);
+        }
+    }
+    t.emit(opts, "fig11b");
+}

@@ -1,0 +1,40 @@
+//! Figure 13: sensitivity of flow completion times to the ordering
+//! timeout τ (120 µs → 1.08 ms) under a heavily bursty load.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_simcore::SimDuration;
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run(opts: &Opts) {
+    println!("== Figure 13: ordering timeout sweep (85% load) ==\n");
+    let s = &opts.scale;
+    let workload = WorkloadSpec {
+        background: Some(BackgroundSpec {
+            load: 0.25,
+            dist: DistKind::CacheFollower,
+        }),
+        incast: Some(s.incast_for_load(0.60)),
+    };
+    let mut t = Table::new(&[
+        "tau_us", "mean_fct", "p99_fct", "mean_qct", "ooo_timeouts", "reorder_rate",
+    ]);
+    for tau_us in [120u64, 240, 360, 480, 600, 720, 840, 960, 1080] {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, workload);
+        spec.topo = s.leaf_spine();
+        spec.horizon = s.horizon;
+        spec.seed = opts.seed;
+        spec.vertigo.tau = SimDuration::from_micros(tau_us);
+        let out = spec.run();
+        let r = &out.report;
+        t.row(vec![
+            tau_us.to_string(),
+            fmt_secs(r.fct_mean),
+            fmt_secs(r.fct_p99),
+            fmt_secs(r.qct_mean),
+            out.ordering.timeouts.to_string(),
+            format!("{:.4}", r.reorder_rate),
+        ]);
+    }
+    t.emit(opts, "fig13");
+}

@@ -1,0 +1,54 @@
+//! Figure 5: QCT/FCT (mean and p99) under 25/50/75 % background load with
+//! an incast sweep, all four systems over DCTCP.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run(opts: &Opts) {
+    println!("== Figure 5: systems x background load (DCTCP) ==\n");
+    let s = &opts.scale;
+    for bg_pct in [25u32, 50, 75] {
+        println!("--- panel: {bg_pct}% background load ---");
+        let mut t = Table::new(&[
+            "load%", "system", "mean_qct", "p99_qct", "mean_fct", "p99_fct", "drops",
+        ]);
+        let mut total = bg_pct + 10;
+        let mut loads = Vec::new();
+        while total <= 95 {
+            loads.push(total);
+            total += 10;
+        }
+        if *loads.last().unwrap_or(&0) != 95 {
+            loads.push(95);
+        }
+        for total in loads {
+            let incast_load = (total - bg_pct) as f64 / 100.0;
+            let workload = WorkloadSpec {
+                background: Some(BackgroundSpec {
+                    load: bg_pct as f64 / 100.0,
+                    dist: DistKind::CacheFollower,
+                }),
+                incast: Some(s.incast_for_load(incast_load)),
+            };
+            for sys in SystemKind::all() {
+                let mut spec = RunSpec::new(sys, CcKind::Dctcp, workload);
+                spec.topo = s.leaf_spine();
+                spec.horizon = s.horizon;
+                spec.seed = opts.seed;
+                let out = spec.run();
+                let r = &out.report;
+                t.row(vec![
+                    total.to_string(),
+                    sys.name().to_string(),
+                    fmt_secs(r.qct_mean),
+                    fmt_secs(r.qct_p99),
+                    fmt_secs(r.fct_mean),
+                    fmt_secs(r.fct_p99),
+                    r.drops.to_string(),
+                ]);
+            }
+        }
+        t.emit(opts, &format!("fig5_bg{bg_pct}"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 6: transport sensitivity. DIBS and Vertigo under TCP, DCTCP,
+//! and Swift (plus ECMP + Swift), mean QCT across a load sweep, and the
+//! QCT CDF at 85 % load.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+const COMBOS: [(SystemKind, CcKind); 7] = [
+    (SystemKind::Dibs, CcKind::Reno),
+    (SystemKind::Dibs, CcKind::Dctcp),
+    (SystemKind::Dibs, CcKind::Swift),
+    (SystemKind::Ecmp, CcKind::Swift),
+    (SystemKind::Vertigo, CcKind::Reno),
+    (SystemKind::Vertigo, CcKind::Dctcp),
+    (SystemKind::Vertigo, CcKind::Swift),
+];
+
+pub fn run(opts: &Opts) {
+    println!("== Figure 6: DIBS/Vertigo x TCP/DCTCP/Swift (25% BG + incast) ==\n");
+    let s = &opts.scale;
+    let mut t = Table::new(&["load%", "system", "cc", "mean_qct", "drop_rate", "queries_done"]);
+    let mut cdf_table = Table::new(&["system_cc", "qct_secs", "cum_frac"]);
+    for total in (35..=95).step_by(10) {
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.25,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(s.incast_for_load((total - 25) as f64 / 100.0)),
+        };
+        for (sys, cc) in COMBOS {
+            let mut spec = RunSpec::new(sys, cc, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            let out = spec.run();
+            let r = &out.report;
+            t.row(vec![
+                total.to_string(),
+                sys.name().to_string(),
+                cc.name().to_string(),
+                fmt_secs(r.qct_mean),
+                format!("{:.2e}", r.drop_rate),
+                r.queries_completed.to_string(),
+            ]);
+            if total == 85 {
+                for (v, f) in r.qct_cdf(40).points {
+                    cdf_table.row(vec![
+                        format!("{}+{}", sys.name(), cc.name()),
+                        format!("{v:.6}"),
+                        format!("{f:.4}"),
+                    ]);
+                }
+            }
+        }
+    }
+    t.emit(opts, "fig6a");
+    cdf_table.emit(opts, "fig6b_cdf85");
+}

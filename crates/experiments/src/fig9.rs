@@ -1,0 +1,52 @@
+//! Figure 9: incast *flow size* sweep (1→180 KB) at fixed fan-in and QPS
+//! over 50 % background load.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{
+    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec,
+};
+
+pub fn run(opts: &Opts) {
+    println!("== Figure 9: incast flow size sweep (50% BG) ==\n");
+    let s = &opts.scale;
+    // Fixed QPS: at the largest flow size (180 KB) total load hits ~95 %.
+    let qps = IncastSpec::qps_for_load(0.45, s.incast_scale, 180_000, s.ls_total_bw());
+    let systems: [(&str, SystemKind, CcKind); 5] = [
+        ("TCP ECMP", SystemKind::Ecmp, CcKind::Reno),
+        ("ECMP", SystemKind::Ecmp, CcKind::Dctcp),
+        ("DRILL", SystemKind::Drill, CcKind::Dctcp),
+        ("DIBS", SystemKind::Dibs, CcKind::Dctcp),
+        ("Vertigo", SystemKind::Vertigo, CcKind::Dctcp),
+    ];
+    let mut t = Table::new(&["flow_kb", "system", "mean_qct", "completed_queries", "drops"]);
+    for flow_kb in [1u64, 20, 40, 60, 100, 140, 180] {
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.50,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(IncastSpec {
+                qps,
+                scale: s.incast_scale,
+                flow_bytes: flow_kb * 1000,
+            }),
+        };
+        for (name, sys, cc) in systems {
+            let mut spec = RunSpec::new(sys, cc, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            let out = spec.run();
+            let r = &out.report;
+            t.row(vec![
+                flow_kb.to_string(),
+                name.to_string(),
+                fmt_secs(r.qct_mean),
+                r.queries_completed.to_string(),
+                r.drops.to_string(),
+            ]);
+        }
+    }
+    t.emit(opts, "fig9");
+}

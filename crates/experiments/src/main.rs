@@ -1,0 +1,117 @@
+//! The Vertigo reproduction harness: one subcommand per table/figure of
+//! the paper. Run `experiments all` to regenerate everything, or a single
+//! id (e.g. `experiments fig5 --quick`). CSVs land in `results/`.
+//!
+//! ```text
+//! experiments <id> [--quick|--full] [--seed N] [--out DIR]
+//!
+//!   fig1     §2: random deflection vs. load (6 panels)
+//!   sec2     §2: deflection pathologies (hops, reordering, mice)
+//!   fig5     systems x background load (DCTCP), mean+p99 QCT/FCT
+//!   fig6     DIBS/Vertigo x TCP/DCTCP/Swift + QCT CDF
+//!   fig7     fat-tree CDFs (includes Table-2-style summaries)
+//!   table2   completion ratios at 75% load
+//!   fig8     incast scale sweep
+//!   fig9     incast flow-size sweep
+//!   fig10    burstiness sweep at fixed 80% load
+//!   fig11a   component ablations
+//!   fig11b   retransmission boosting
+//!   fig12    1FW/2FW x 1DEF/2DEF on both topologies
+//!   table3   SRPT vs LAS marking
+//!   fig13    ordering-timeout sweep
+//!   nonbursty background-only trace workloads
+//!   ext      extension: NDP-style trimming policy
+//!   all      everything above
+//! ```
+
+mod common;
+mod ext;
+mod fig1;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod nonbursty;
+mod sec2;
+mod table2;
+mod table3;
+
+use common::Opts;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id> [--quick|--full] [--seed N] [--out DIR]\n\
+         ids: fig1 sec2 fig5 fig6 fig7 table2 fig8 fig9 fig10 fig11a fig11b \
+         fig12 table3 fig13 nonbursty ext all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+    println!(
+        "[scale={} seed={} leaf-spine {} hosts / fat-tree k={}]\n",
+        opts.scale.name,
+        opts.seed,
+        opts.scale.ls_hosts(),
+        opts.scale.ft_k
+    );
+    let start = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig1" => fig1::run(&opts),
+        "sec2" => sec2::run(&opts),
+        "fig5" => fig5::run(&opts),
+        "fig6" => fig6::run(&opts),
+        "fig7" => fig7::run(&opts),
+        "table2" => table2::run(&opts),
+        "fig8" => fig8::run(&opts),
+        "fig9" => fig9::run(&opts),
+        "fig10" => fig10::run(&opts),
+        "fig11a" => fig11::run_a(&opts),
+        "fig11b" => fig11::run_b(&opts),
+        "fig11" => {
+            fig11::run_a(&opts);
+            fig11::run_b(&opts);
+        }
+        "table3" => table3::run(&opts),
+        "fig13" => fig13::run(&opts),
+        "nonbursty" => nonbursty::run(&opts),
+        "ext" => ext::run(&opts),
+        "all" => {
+            fig1::run(&opts);
+            sec2::run(&opts);
+            fig5::run(&opts);
+            fig6::run(&opts);
+            fig7::run(&opts);
+            table2::run(&opts);
+            fig8::run(&opts);
+            fig9::run(&opts);
+            fig10::run(&opts);
+            fig11::run_a(&opts);
+            fig11::run_b(&opts);
+            fig12::run(&opts);
+            table3::run(&opts);
+            fig13::run(&opts);
+            nonbursty::run(&opts);
+            ext::run(&opts);
+        }
+        "fig12" => fig12::run(&opts),
+        _ => usage(),
+    }
+    println!("\n[done in {:.1?}]", start.elapsed());
+}

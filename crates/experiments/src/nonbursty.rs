@@ -1,0 +1,48 @@
+//! §4.2 "Vertigo favors short flows under less bursty workloads":
+//! background-only sweeps over the three trace distributions, comparing
+//! ECMP+DCTCP with Vertigo+DCTCP.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run(opts: &Opts) {
+    println!("== Non-bursty workloads: background-only FCT comparison ==\n");
+    let s = &opts.scale;
+    let mut t = Table::new(&[
+        "dist", "load%", "system", "mean_fct", "mice_fct", "p99_fct", "drops",
+    ]);
+    for dist in [
+        DistKind::CacheFollower,
+        DistKind::WebSearch,
+        DistKind::DataMining,
+    ] {
+        for load in [25u32, 50, 70, 90] {
+            let workload = WorkloadSpec {
+                background: Some(BackgroundSpec {
+                    load: load as f64 / 100.0,
+                    dist,
+                }),
+                incast: None,
+            };
+            for sys in [SystemKind::Ecmp, SystemKind::Vertigo] {
+                let mut spec = RunSpec::new(sys, CcKind::Dctcp, workload);
+                spec.topo = s.leaf_spine();
+                spec.horizon = s.horizon;
+                spec.seed = opts.seed;
+                let out = spec.run();
+                let r = &out.report;
+                t.row(vec![
+                    dist.name().to_string(),
+                    load.to_string(),
+                    sys.name().to_string(),
+                    fmt_secs(r.fct_mean),
+                    fmt_secs(r.fct_mice_mean),
+                    fmt_secs(r.fct_p99),
+                    r.drops.to_string(),
+                ]);
+            }
+        }
+    }
+    t.emit(opts, "nonbursty");
+}

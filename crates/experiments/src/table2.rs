@@ -1,0 +1,36 @@
+//! Table 2: flow and query completion ratios at 75 % load
+//! (50 % background + 25 % incast) under DCTCP and Swift, on the
+//! leaf-spine.
+
+use crate::common::{fmt_pct, Opts, Table};
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run(opts: &Opts) {
+    println!("== Table 2: completion ratios at 75% load (50% BG + 25% incast) ==\n");
+    let s = &opts.scale;
+    let workload = WorkloadSpec {
+        background: Some(BackgroundSpec {
+            load: 0.50,
+            dist: DistKind::CacheFollower,
+        }),
+        incast: Some(s.incast_for_load(0.25)),
+    };
+    let mut t = Table::new(&["cc", "system", "flow_completion", "query_completion"]);
+    for cc in [CcKind::Dctcp, CcKind::Swift] {
+        for sys in [SystemKind::Ecmp, SystemKind::Dibs, SystemKind::Vertigo] {
+            let mut spec = RunSpec::new(sys, cc, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            let out = spec.run();
+            t.row(vec![
+                cc.name().to_string(),
+                sys.name().to_string(),
+                fmt_pct(out.report.flow_completion_ratio()),
+                fmt_pct(out.report.query_completion_ratio()),
+            ]);
+        }
+    }
+    t.emit(opts, "table2");
+}

@@ -1,0 +1,41 @@
+//! Table 3: SRPT vs. flow aging (LAS) marking, against the ECMP and DIBS
+//! baselines, across a load sweep.
+
+use crate::common::{fmt_secs, Opts, Table};
+use vertigo_core::MarkingDiscipline;
+use vertigo_transport::CcKind;
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
+
+pub fn run(opts: &Opts) {
+    println!("== Table 3: SRPT vs LAS marking (mean QCT) ==\n");
+    let s = &opts.scale;
+    let mut t = Table::new(&[
+        "load%", "DCTCP+ECMP", "DCTCP+DIBS", "Vertigo-SRPT", "Vertigo-LAS",
+    ]);
+    for total in (55..=95).step_by(10) {
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.25,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(s.incast_for_load((total - 25) as f64 / 100.0)),
+        };
+        let mut cells = vec![total.to_string()];
+        for (sys, disc) in [
+            (SystemKind::Ecmp, MarkingDiscipline::Srpt),
+            (SystemKind::Dibs, MarkingDiscipline::Srpt),
+            (SystemKind::Vertigo, MarkingDiscipline::Srpt),
+            (SystemKind::Vertigo, MarkingDiscipline::Las),
+        ] {
+            let mut spec = RunSpec::new(sys, CcKind::Dctcp, workload);
+            spec.topo = s.leaf_spine();
+            spec.horizon = s.horizon;
+            spec.seed = opts.seed;
+            spec.vertigo.discipline = disc;
+            let out = spec.run();
+            cells.push(fmt_secs(out.report.qct_mean));
+        }
+        t.row(cells);
+    }
+    t.emit(opts, "table3");
+}

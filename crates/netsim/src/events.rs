@@ -1,0 +1,63 @@
+//! Simulation events and the handler context.
+
+use vertigo_pkt::{FlowId, NodeId, Packet, PortId, QueryId};
+use vertigo_simcore::{EventQueue, SimRng, SimTime};
+use vertigo_stats::Recorder;
+
+/// Everything that can happen in the simulated network.
+#[derive(Debug)]
+pub enum Event {
+    /// The last byte of `pkt` arrived at `node` on `port`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port.
+        port: PortId,
+        /// The packet (boxed: events are moved through a binary heap).
+        pkt: Box<Packet>,
+    },
+    /// `node` finished serializing a packet out of `port`; the port is free.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// The now-idle port.
+        port: PortId,
+    },
+    /// A host's consolidated wakeup fired (possibly redundant; the host
+    /// re-checks every deadline).
+    HostTimer {
+        /// The host.
+        node: NodeId,
+    },
+    /// The periodic telemetry sampler fired (handled by the driver, not a
+    /// node).
+    TelemetrySample,
+    /// The application opens a flow at `src`.
+    FlowStart {
+        /// Sending host.
+        src: NodeId,
+        /// Receiving host.
+        dst: NodeId,
+        /// Flow id assigned by the driver.
+        flow: FlowId,
+        /// Owning query (`QueryId::NONE` for background traffic).
+        query: QueryId,
+        /// Flow size in bytes.
+        bytes: u64,
+    },
+}
+
+/// Mutable simulation context handed to node event handlers. Handlers may
+/// schedule follow-up events, record metrics, and draw randomness — but
+/// cannot touch other nodes (all inter-node interaction flows through
+/// events, which is what keeps the simulation deterministic).
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The event queue, for scheduling follow-ups.
+    pub events: &'a mut EventQueue<Event>,
+    /// The metrics sink.
+    pub rec: &'a mut Recorder,
+    /// The run's random stream.
+    pub rng: &'a mut SimRng,
+}

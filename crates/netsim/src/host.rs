@@ -1,0 +1,455 @@
+//! The end host: transport flows, the Vertigo marking and ordering
+//! components, and a NIC egress queue.
+//!
+//! Packet path on TX: transport window releases a segment → the marking
+//! component tags it with RFS (if deployed) → NIC FIFO → link. On RX:
+//! NIC → ordering component (if deployed) → transport receiver → ACK back
+//! through the NIC. Hosts drive all their timers (RTO, Swift pacing,
+//! ordering τ) through one consolidated wakeup.
+//!
+//! Timer scheme: the host tracks the earliest outstanding `HostTimer`
+//! event it has scheduled. A wakeup is only pushed when the desired
+//! deadline is *earlier* than anything outstanding; when a wakeup fires,
+//! every due timer is processed and the next one is scheduled. Early or
+//! redundant wakeups are harmless (processing checks deadlines), and this
+//! keeps the event queue free of one-event-per-ACK churn.
+
+use crate::events::{Ctx, Event};
+use crate::link::LinkParams;
+use std::collections::{BTreeMap, VecDeque};
+use vertigo_core::{Delivered, MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
+use vertigo_pkt::{FlowId, NodeId, Packet, PacketKind, PortId, QueryId};
+use vertigo_simcore::SimTime;
+use vertigo_stats::DropCause;
+use vertigo_transport::{FlowReceiver, FlowSender, TransportConfig};
+
+/// Host-side configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Transport parameters (congestion control, RTO, MSS).
+    pub transport: TransportConfig,
+    /// TX-path marking component; `None` disables Vertigo tagging.
+    pub marking: Option<MarkingConfig>,
+    /// RX-path ordering component; `None` disables re-sequencing.
+    pub ordering: Option<OrderingConfig>,
+    /// NIC egress buffer in bytes.
+    pub nic_buffer_bytes: u64,
+}
+
+impl HostConfig {
+    /// Plain host: chosen transport, no Vertigo components.
+    pub fn plain(transport: TransportConfig) -> Self {
+        HostConfig {
+            transport,
+            marking: None,
+            ordering: None,
+            nic_buffer_bytes: 2 * 1024 * 1024,
+        }
+    }
+
+    /// Vertigo host: marking + ordering with defaults.
+    pub fn vertigo(transport: TransportConfig) -> Self {
+        HostConfig {
+            transport,
+            marking: Some(MarkingConfig::default()),
+            ordering: Some(OrderingConfig::default()),
+            nic_buffer_bytes: 2 * 1024 * 1024,
+        }
+    }
+}
+
+struct SendState {
+    sender: FlowSender,
+    dst: NodeId,
+    query: QueryId,
+}
+
+struct RecvState {
+    recv: FlowReceiver,
+    src: NodeId,
+    query: QueryId,
+    /// reorder_events already exported to the recorder.
+    reported_reorders: u64,
+    /// contiguous bytes already counted toward goodput.
+    reported_bytes: u64,
+}
+
+/// Counters accumulated as flows come and go (senders are dropped on
+/// completion, so their stats are banked here).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostStats {
+    /// Data segments sent (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// RTO firings.
+    pub rtos: u64,
+    /// Fast-retransmit episodes.
+    pub fast_retransmits: u64,
+}
+
+/// An end host.
+pub struct Host {
+    /// This host's node id.
+    pub id: NodeId,
+    peer: NodeId,
+    peer_port: PortId,
+    link: LinkParams,
+    cfg: HostConfig,
+
+    nic_q: VecDeque<Box<Packet>>,
+    nic_bytes: u64,
+    nic_busy: bool,
+
+    senders: BTreeMap<FlowId, SendState>,
+    receivers: BTreeMap<FlowId, RecvState>,
+    marking: Option<MarkingComponent>,
+    ordering: Option<OrderingComponent<Box<Packet>>>,
+
+    /// Earliest outstanding HostTimer event, if any.
+    wake_scheduled: Option<SimTime>,
+    uid: u64,
+    stats: HostStats,
+    /// Scratch buffers reused across events to avoid per-packet allocation.
+    deliveries: Vec<Delivered<Box<Packet>>>,
+    flow_scratch: Vec<FlowId>,
+}
+
+impl Host {
+    /// Creates a host attached to `peer` (its ToR) via `link`.
+    pub fn new(
+        id: NodeId,
+        peer: NodeId,
+        peer_port: PortId,
+        link: LinkParams,
+        cfg: HostConfig,
+    ) -> Self {
+        let marking = cfg.marking.clone().map(MarkingComponent::new);
+        let ordering = cfg.ordering.clone().map(OrderingComponent::new);
+        Host {
+            id,
+            peer,
+            peer_port,
+            link,
+            cfg,
+            nic_q: VecDeque::new(),
+            nic_bytes: 0,
+            nic_busy: false,
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            marking,
+            ordering,
+            wake_scheduled: None,
+            uid: (id.0 as u64) << 40,
+            stats: HostStats::default(),
+            deliveries: Vec::new(),
+            flow_scratch: Vec::new(),
+        }
+    }
+
+    /// Banked + live sender counters.
+    pub fn stats(&self) -> HostStats {
+        let mut s = self.stats;
+        for st in self.senders.values() {
+            let x = st.sender.stats();
+            s.segments_sent += x.segments_sent;
+            s.retransmits += x.retransmits;
+            s.rtos += x.rtos;
+            s.fast_retransmits += x.fast_retransmits;
+        }
+        s
+    }
+
+    /// The ordering component's counters, if deployed.
+    pub fn ordering_stats(&self) -> Option<vertigo_core::OrderingStats> {
+        self.ordering.as_ref().map(|o| o.stats())
+    }
+
+    /// The marking component's counters, if deployed.
+    pub fn marking_stats(&self) -> Option<vertigo_core::MarkingStats> {
+        self.marking.as_ref().map(|m| m.stats())
+    }
+
+    /// Number of flows currently sending.
+    pub fn active_senders(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Opens a new outgoing flow.
+    pub fn start_flow(
+        &mut self,
+        flow: FlowId,
+        dst: NodeId,
+        bytes: u64,
+        query: QueryId,
+        ctx: &mut Ctx,
+    ) {
+        debug_assert_ne!(dst, self.id, "flow to self");
+        ctx.rec
+            .flow_started(flow, query, self.id, dst, bytes, ctx.now);
+        if let Some(m) = &mut self.marking {
+            m.register_flow(flow, dst, bytes);
+        }
+        let sender = FlowSender::new(flow, bytes, self.cfg.transport);
+        self.senders.insert(flow, SendState { sender, dst, query });
+        self.pump(ctx);
+    }
+
+    /// A packet arrived from the network.
+    pub fn on_arrive(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
+        debug_assert_eq!(pkt.dst, self.id, "mis-delivered packet");
+        match pkt.kind {
+            PacketKind::Data(_) if pkt.is_trimmed() => {
+                // A header stub: explicit loss notice, bypasses ordering.
+                self.on_trim_notice(pkt, ctx);
+            }
+            PacketKind::Data(_) => {
+                if self.ordering.is_some() && pkt.flowinfo.is_some() {
+                    let info = pkt.flowinfo.expect("checked");
+                    let seg = *pkt.data_seg().expect("data packet");
+                    let flow = pkt.flow;
+                    let mut out = std::mem::take(&mut self.deliveries);
+                    self.ordering.as_mut().expect("checked").on_packet(
+                        ctx.now,
+                        flow,
+                        info,
+                        seg.payload,
+                        pkt,
+                        &mut out,
+                    );
+                    for d in out.drain(..) {
+                        self.deliver_data(d.item, ctx);
+                    }
+                    self.deliveries = out;
+                } else {
+                    self.deliver_data(pkt, ctx);
+                }
+            }
+            PacketKind::Ack(ack) => {
+                let done = if let Some(st) = self.senders.get_mut(&pkt.flow) {
+                    let outcome = st.sender.on_ack(ctx.now, &ack);
+                    outcome.completed
+                } else {
+                    false
+                };
+                if done {
+                    // Bank the finished sender's stats and free its state.
+                    if let Some(st) = self.senders.remove(&pkt.flow) {
+                        let x = st.sender.stats();
+                        self.stats.segments_sent += x.segments_sent;
+                        self.stats.retransmits += x.retransmits;
+                        self.stats.rtos += x.rtos;
+                        self.stats.fast_retransmits += x.fast_retransmits;
+                    }
+                    if let Some(m) = &mut self.marking {
+                        m.complete_flow(pkt.flow);
+                    }
+                }
+                self.pump(ctx);
+            }
+        }
+        self.rearm_timer(ctx);
+    }
+
+    /// Processes a trimmed header stub: the receiver answers with an
+    /// immediate duplicate ACK (the NdpTrim extension's loss signal).
+    fn on_trim_notice(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
+        let seg = *pkt.data_seg().expect("data packet");
+        let flow = pkt.flow;
+        let st = self.receivers.entry(flow).or_insert_with(|| RecvState {
+            recv: FlowReceiver::new(flow, seg.flow_bytes),
+            src: pkt.src,
+            query: pkt.query,
+            reported_reorders: 0,
+            reported_bytes: 0,
+        });
+        let ack = st.recv.on_trim(ctx.now, pkt.ecn.is_ce(), pkt.sent_at);
+        let src = st.src;
+        let query = st.query;
+        self.uid += 1;
+        let ack_pkt = Box::new(Packet::ack(self.uid, flow, query, self.id, src, ack, ctx.now));
+        self.enqueue_nic(ack_pkt, ctx);
+    }
+
+    /// Hands one data packet to the transport receiver and emits the ACK.
+    fn deliver_data(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
+        let seg = *pkt.data_seg().expect("data packet");
+        let flow = pkt.flow;
+        ctx.rec.data_delivered += 1;
+        ctx.rec.hops_delivered += pkt.hops as u64;
+        let st = self.receivers.entry(flow).or_insert_with(|| RecvState {
+            recv: FlowReceiver::new(flow, seg.flow_bytes),
+            src: pkt.src,
+            query: pkt.query,
+            reported_reorders: 0,
+            reported_bytes: 0,
+        });
+        let was_complete = st.recv.is_complete();
+        let ack = st.recv.on_data(ctx.now, &seg, pkt.ecn.is_ce(), pkt.sent_at);
+        // Export reorder and goodput deltas.
+        let reorders = st.recv.stats().reorder_events;
+        ctx.rec.transport_reorders += reorders - st.reported_reorders;
+        st.reported_reorders = reorders;
+        let contiguous = st.recv.contiguous().min(st.recv.size);
+        let delta = contiguous - st.reported_bytes;
+        st.reported_bytes = contiguous;
+        let src = st.src;
+        let query = st.query;
+        ctx.rec.flow_progress(flow, delta);
+        if st.recv.is_complete() && !was_complete {
+            ctx.rec.flow_finished(flow, ctx.now);
+            if let Some(o) = &mut self.ordering {
+                // LAS flows (and any stragglers) are purged explicitly.
+                let mut out = std::mem::take(&mut self.deliveries);
+                o.purge_flow(flow, &mut out);
+                out.clear(); // flow is complete; buffered leftovers are dups
+                self.deliveries = out;
+            }
+        }
+        // ACK back to the data sender.
+        self.uid += 1;
+        let ack_pkt = Box::new(Packet::ack(self.uid, flow, query, self.id, src, ack, ctx.now));
+        self.enqueue_nic(ack_pkt, ctx);
+    }
+
+    /// A consolidated wakeup fired: process every due timer. Redundant
+    /// wakeups are harmless.
+    pub fn on_timer(&mut self, ctx: &mut Ctx) {
+        if self.wake_scheduled.is_some_and(|w| w <= ctx.now) {
+            self.wake_scheduled = None;
+        }
+        for st in self.senders.values_mut() {
+            st.sender.on_timer(ctx.now);
+        }
+        if let Some(o) = &mut self.ordering {
+            let mut out = std::mem::take(&mut self.deliveries);
+            o.on_timer(ctx.now, &mut out);
+            for d in out.drain(..) {
+                self.deliver_data(d.item, ctx);
+            }
+            self.deliveries = out;
+        }
+        self.pump(ctx);
+        self.rearm_timer(ctx);
+    }
+
+    /// Releases transmittable segments from every sender into the NIC.
+    fn pump(&mut self, ctx: &mut Ctx) {
+        let mss_wire = (self.cfg.transport.mss
+            + vertigo_pkt::DATA_HEADER_BYTES
+            + vertigo_pkt::FLOWINFO_OVERHEAD_BYTES) as u64;
+        let mut flows = std::mem::take(&mut self.flow_scratch);
+        flows.clear();
+        flows.extend(self.senders.keys().copied());
+        'outer: for &flow in &flows {
+            loop {
+                if self.nic_bytes + mss_wire > self.cfg.nic_buffer_bytes {
+                    break 'outer; // NIC full: stop generating
+                }
+                let st = self.senders.get_mut(&flow).expect("present");
+                let Some(seg) = st.sender.poll_segment(ctx.now) else {
+                    break;
+                };
+                let ecn = st.sender.ecn_capable();
+                let dst = st.dst;
+                let query = st.query;
+                self.uid += 1;
+                let mut pkt = Box::new(Packet::data(
+                    self.uid, flow, query, self.id, dst, seg, ecn, ctx.now,
+                ));
+                if let Some(m) = &mut self.marking {
+                    let info = m.mark(flow, seg.seq, seg.payload);
+                    pkt.tag_flowinfo(info);
+                }
+                ctx.rec.data_sent += 1;
+                self.enqueue_nic(pkt, ctx);
+            }
+        }
+        self.flow_scratch = flows;
+        self.start_tx(ctx);
+        self.rearm_timer(ctx);
+    }
+
+    fn enqueue_nic(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
+        if self.nic_bytes + pkt.wire_size as u64 > self.cfg.nic_buffer_bytes {
+            ctx.rec.on_drop(DropCause::HostQueue, pkt.wire_size);
+            return;
+        }
+        self.nic_bytes += pkt.wire_size as u64;
+        self.nic_q.push_back(pkt);
+        self.start_tx(ctx);
+    }
+
+    fn start_tx(&mut self, ctx: &mut Ctx) {
+        if self.nic_busy {
+            return;
+        }
+        let Some(mut pkt) = self.nic_q.pop_front() else {
+            return;
+        };
+        self.nic_bytes -= pkt.wire_size as u64;
+        self.nic_busy = true;
+        // Timestamp at the moment the packet hits the wire (Swift-style
+        // NIC hardware timestamping).
+        pkt.sent_at = ctx.now;
+        let ser = self.link.tx_time(pkt.wire_size);
+        let arrive = ctx.now + ser + self.link.prop_delay;
+        ctx.events.push(
+            ctx.now + ser,
+            Event::TxDone {
+                node: self.id,
+                port: PortId(0),
+            },
+        );
+        ctx.events.push(
+            arrive,
+            Event::Arrive {
+                node: self.peer,
+                port: self.peer_port,
+                pkt,
+            },
+        );
+    }
+
+    /// NIC finished serializing; send the next queued packet.
+    pub fn on_tx_done(&mut self, ctx: &mut Ctx) {
+        self.nic_busy = false;
+        self.start_tx(ctx);
+        // A sender may have been window- or pacing-blocked on the NIC.
+        self.pump(ctx);
+    }
+
+    /// Schedules the next wakeup at the earliest pending deadline, unless
+    /// an outstanding wakeup already covers it.
+    fn rearm_timer(&mut self, ctx: &mut Ctx) {
+        let mut next: Option<SimTime> = None;
+        for st in self.senders.values() {
+            if let Some(d) = st.sender.next_deadline(ctx.now) {
+                next = Some(next.map_or(d, |n: SimTime| n.min(d)));
+            }
+        }
+        if let Some(o) = &self.ordering {
+            if let Some(d) = o.next_deadline() {
+                next = Some(next.map_or(d, |n: SimTime| n.min(d)));
+            }
+        }
+        if let Some(d) = next {
+            let d = d.max(ctx.now);
+            if self.wake_scheduled.map_or(true, |w| w > d) {
+                self.wake_scheduled = Some(d);
+                ctx.events.push(d, Event::HostTimer { node: self.id });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("senders", &self.senders.len())
+            .field("receivers", &self.receivers.len())
+            .field("nic_bytes", &self.nic_bytes)
+            .finish()
+    }
+}

@@ -1,0 +1,50 @@
+//! Link parameters.
+
+use vertigo_simcore::{SimDuration, SimTime};
+
+/// Physical characteristics of one (full-duplex) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+}
+
+impl LinkParams {
+    /// A link with the given gigabit rate and propagation delay in
+    /// nanoseconds — the common construction in topology builders.
+    pub fn gbps(gbit: u64, prop_ns: u64) -> Self {
+        LinkParams {
+            rate_bps: gbit * 1_000_000_000,
+            prop_delay: SimDuration::from_nanos(prop_ns),
+        }
+    }
+
+    /// Serialization time of `bytes` on this link.
+    pub fn tx_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::tx_time(bytes as u64, self.rate_bps)
+    }
+
+    /// When the last byte of a packet sent at `start` arrives at the peer
+    /// (store-and-forward: serialization plus propagation).
+    pub fn arrival_at(&self, start: SimTime, bytes: u32) -> SimTime {
+        start + self.tx_time(bytes) + self.prop_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings() {
+        let l = LinkParams::gbps(10, 500);
+        assert_eq!(l.tx_time(1500), SimDuration::from_nanos(1200));
+        let t0 = SimTime::from_micros(1);
+        assert_eq!(
+            l.arrival_at(t0, 1500),
+            SimTime::from_nanos(1_000 + 1_200 + 500)
+        );
+    }
+}

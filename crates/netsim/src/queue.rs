@@ -1,0 +1,243 @@
+//! Output-port queues: byte-bounded FIFO and RFS-sorted priority queues.
+//!
+//! Baselines (ECMP, DRILL, DIBS) use FIFO tail-drop queues; Vertigo uses a
+//! [`PieoQueue`]-backed priority queue sorted by the packets' logical RFS
+//! rank, which supports the *evict-worst* operation its deflection needs.
+//! Both are bounded in **bytes** (paper: 300 KB per port) and count packets
+//! for the DCTCP ECN threshold.
+
+use std::collections::VecDeque;
+use vertigo_core::PieoQueue;
+use vertigo_pkt::Packet;
+
+/// A byte-bounded FIFO queue.
+#[derive(Debug, Default)]
+pub struct FifoQueue {
+    q: VecDeque<Box<Packet>>,
+    bytes: u64,
+}
+
+/// A byte-bounded priority queue ordered by RFS rank.
+#[derive(Debug)]
+pub struct PrioQueue {
+    q: PieoQueue<Box<Packet>>,
+    bytes: u64,
+    /// Per-retransmission boost rotation, needed to compute logical ranks.
+    boost_shift: u32,
+}
+
+/// A switch output queue of either discipline.
+#[derive(Debug)]
+pub enum PortQueue {
+    /// First-in first-out (baselines, and Vertigo's no-scheduling ablation).
+    Fifo(FifoQueue),
+    /// RFS-sorted SRPT order (Vertigo).
+    Prio(PrioQueue),
+}
+
+impl PortQueue {
+    /// Creates a FIFO queue.
+    pub fn fifo() -> Self {
+        PortQueue::Fifo(FifoQueue::default())
+    }
+
+    /// Creates a priority queue ranking packets by logical RFS.
+    pub fn prio(boost_shift: u32) -> Self {
+        PortQueue::Prio(PrioQueue {
+            q: PieoQueue::new(),
+            bytes: 0,
+            boost_shift,
+        })
+    }
+
+    /// Queued bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            PortQueue::Fifo(f) => f.bytes,
+            PortQueue::Prio(p) => p.bytes,
+        }
+    }
+
+    /// Queued packets.
+    pub fn len(&self) -> usize {
+        match self {
+            PortQueue::Fifo(f) => f.q.len(),
+            PortQueue::Prio(p) => p.q.len(),
+        }
+    }
+
+    /// Whether no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `pkt` fits within `capacity` bytes.
+    pub fn fits(&self, pkt: &Packet, capacity: u64) -> bool {
+        self.bytes() + pkt.wire_size as u64 <= capacity
+    }
+
+    /// Enqueues unconditionally (caller enforces capacity policy).
+    pub fn push(&mut self, pkt: Box<Packet>) {
+        match self {
+            PortQueue::Fifo(f) => {
+                f.bytes += pkt.wire_size as u64;
+                f.q.push_back(pkt);
+            }
+            PortQueue::Prio(p) => {
+                p.bytes += pkt.wire_size as u64;
+                let rank = pkt.rank(p.boost_shift);
+                p.q.push(rank, pkt);
+            }
+        }
+    }
+
+    /// Dequeues the next packet to transmit (FIFO head / smallest rank).
+    pub fn pop_next(&mut self) -> Option<Box<Packet>> {
+        match self {
+            PortQueue::Fifo(f) => {
+                let pkt = f.q.pop_front()?;
+                f.bytes -= pkt.wire_size as u64;
+                Some(pkt)
+            }
+            PortQueue::Prio(p) => {
+                let (_, pkt) = p.q.pop_min()?;
+                p.bytes -= pkt.wire_size as u64;
+                Some(pkt)
+            }
+        }
+    }
+
+    /// Removes the worst-ranked resident (Vertigo's tail extraction).
+    /// FIFO queues have no rank order, so they evict from the tail
+    /// (the most recent arrival) — only used by ablation configs.
+    pub fn evict_worst(&mut self) -> Option<Box<Packet>> {
+        match self {
+            PortQueue::Fifo(f) => {
+                let pkt = f.q.pop_back()?;
+                f.bytes -= pkt.wire_size as u64;
+                Some(pkt)
+            }
+            PortQueue::Prio(p) => {
+                let (_, pkt) = p.q.pop_max()?;
+                p.bytes -= pkt.wire_size as u64;
+                Some(pkt)
+            }
+        }
+    }
+
+    /// Rank of the worst resident (`None` when empty, or for FIFO queues,
+    /// which do not track ranks).
+    pub fn worst_rank(&self) -> Option<u64> {
+        match self {
+            PortQueue::Fifo(_) => None,
+            PortQueue::Prio(p) => p.q.peek_max_rank(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertigo_pkt::{DataSeg, FlowId, FlowInfo, NodeId, QueryId};
+    use vertigo_simcore::SimTime;
+
+    fn pkt(uid: u64, rfs: u32, payload: u32) -> Box<Packet> {
+        let mut p = Packet::data(
+            uid,
+            FlowId(uid),
+            QueryId::NONE,
+            NodeId(0),
+            NodeId(1),
+            DataSeg {
+                seq: 0,
+                payload,
+                flow_bytes: rfs as u64,
+                retransmit: false,
+            trimmed: false,
+            },
+            true,
+            SimTime::ZERO,
+        );
+        p.tag_flowinfo(FlowInfo {
+            rfs,
+            retcnt: 0,
+            flow_seq: 0,
+            first: true,
+        });
+        Box::new(p)
+    }
+
+    #[test]
+    fn fifo_order_and_bytes() {
+        let mut q = PortQueue::fifo();
+        q.push(pkt(1, 100, 1000));
+        q.push(pkt(2, 50, 500));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.bytes(), 1048 + 548); // payload + 40 hdr + 8 flowinfo
+        assert_eq!(q.pop_next().unwrap().uid, 1);
+        assert_eq!(q.pop_next().unwrap().uid, 2);
+        assert!(q.pop_next().is_none());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn prio_orders_by_rank() {
+        let mut q = PortQueue::prio(1);
+        q.push(pkt(1, 20_000, 1000));
+        q.push(pkt(2, 3_000, 1000));
+        q.push(pkt(3, 7_000, 1000));
+        assert_eq!(q.worst_rank(), Some(20_000));
+        assert_eq!(q.pop_next().unwrap().uid, 2, "smallest RFS first");
+        assert_eq!(q.pop_next().unwrap().uid, 3);
+        assert_eq!(q.pop_next().unwrap().uid, 1);
+    }
+
+    #[test]
+    fn prio_evicts_worst() {
+        let mut q = PortQueue::prio(1);
+        q.push(pkt(1, 20_000, 1000));
+        q.push(pkt(2, 3_000, 1000));
+        let victim = q.evict_worst().unwrap();
+        assert_eq!(victim.uid, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn fits_respects_byte_capacity() {
+        let q = PortQueue::fifo();
+        let p = pkt(1, 100, 1000); // wire = 1048
+        assert!(q.fits(&p, 1048));
+        assert!(!q.fits(&p, 1047));
+    }
+
+    #[test]
+    fn fifo_evicts_from_tail() {
+        let mut q = PortQueue::fifo();
+        q.push(pkt(1, 1, 100));
+        q.push(pkt(2, 1, 100));
+        assert_eq!(q.evict_worst().unwrap().uid, 2);
+        assert_eq!(q.worst_rank(), None);
+    }
+
+    #[test]
+    fn acks_outrank_data_in_prio() {
+        let mut q = PortQueue::prio(1);
+        q.push(pkt(1, 500, 1000));
+        let ack = Packet::ack(
+            9,
+            FlowId(9),
+            QueryId::NONE,
+            NodeId(1),
+            NodeId(0),
+            vertigo_pkt::AckSeg {
+                cum_ack: 0,
+                ecn_echo: false,
+                ts_echo: SimTime::ZERO,
+                reorder_seen: 0,
+            },
+            SimTime::ZERO,
+        );
+        q.push(Box::new(ack));
+        assert_eq!(q.pop_next().unwrap().uid, 9, "ACKs (rank 0) go first");
+    }
+}

@@ -1,0 +1,397 @@
+//! The simulation driver: builds a network from a [`SimConfig`], accepts
+//! flow/query schedules from the workload layer, runs the event loop to a
+//! horizon, and produces a [`Report`].
+
+use crate::events::{Ctx, Event};
+use crate::host::{Host, HostConfig};
+use crate::link::LinkParams;
+use crate::policy::SwitchConfig;
+use crate::queue::PortQueue;
+use crate::switch::{Port, Switch};
+use crate::telemetry::{Telemetry, TelemetryConfig};
+use crate::topology::Topology;
+use vertigo_pkt::{mix64, FlowId, NodeId, QueryId};
+use vertigo_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use vertigo_stats::{Recorder, Report};
+
+/// Which network to build.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// Two-tier leaf-spine.
+    LeafSpine {
+        /// Spine ("core") switches.
+        spines: usize,
+        /// Leaf ("aggregate"/ToR) switches.
+        leaves: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+        /// Host link.
+        host_link: LinkParams,
+        /// Leaf-spine link.
+        fabric_link: LinkParams,
+    },
+    /// k-ary fat-tree, all links equal.
+    FatTree {
+        /// Arity (even).
+        k: usize,
+        /// Link parameters throughout.
+        link: LinkParams,
+    },
+    /// A pre-built topology.
+    Custom(Topology),
+}
+
+impl TopologySpec {
+    /// The paper's leaf-spine (scaled by `hosts_per_leaf`): 4 spines,
+    /// 8 leaves, 10 Gbps host links, 40 Gbps fabric links, 500 ns wires.
+    pub fn paper_leaf_spine(hosts_per_leaf: usize) -> Self {
+        TopologySpec::LeafSpine {
+            spines: 4,
+            leaves: 8,
+            hosts_per_leaf,
+            host_link: LinkParams::gbps(10, 500),
+            fabric_link: LinkParams::gbps(40, 500),
+        }
+    }
+
+    /// The paper's fat-tree: k = 8, 10 Gbps links.
+    pub fn paper_fat_tree() -> Self {
+        TopologySpec::FatTree {
+            k: 8,
+            link: LinkParams::gbps(10, 500),
+        }
+    }
+
+    /// Materializes the topology.
+    pub fn build(&self) -> Topology {
+        match self {
+            TopologySpec::LeafSpine {
+                spines,
+                leaves,
+                hosts_per_leaf,
+                host_link,
+                fabric_link,
+            } => Topology::leaf_spine(*spines, *leaves, *hosts_per_leaf, *host_link, *fabric_link),
+            TopologySpec::FatTree { k, link } => Topology::fat_tree(*k, *link),
+            TopologySpec::Custom(t) => t.clone(),
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The network.
+    pub topology: TopologySpec,
+    /// Switch policies (forwarding, deflection, buffers, ECN).
+    pub switch: SwitchConfig,
+    /// Host stack (transport + Vertigo components).
+    pub host: HostConfig,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// RNG seed; two runs with identical configs produce identical results.
+    pub seed: u64,
+}
+
+enum Node {
+    Host(Host),
+    Switch(Switch),
+}
+
+/// A runnable simulation instance.
+pub struct Simulation {
+    topo: Topology,
+    nodes: Vec<Node>,
+    events: EventQueue<Event>,
+    rng: SimRng,
+    rec: Recorder,
+    horizon: SimDuration,
+    next_flow: u64,
+    next_query: u64,
+    telemetry: Option<(TelemetryConfig, Telemetry)>,
+}
+
+impl Simulation {
+    /// Builds the network described by `cfg`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let topo = cfg.topology.build();
+        topo.validate().expect("invalid topology");
+        let routes = topo.switch_routes();
+        let rng = SimRng::new(cfg.seed);
+
+        let mut nodes = Vec::with_capacity(topo.num_nodes());
+        for h in 0..topo.hosts {
+            let id = NodeId(h as u32);
+            let (peer, link) = topo.adj[h][0];
+            let peer_port = topo.port_to(peer, id).expect("host attached");
+            nodes.push(Node::Host(Host::new(
+                id,
+                peer,
+                peer_port,
+                link,
+                cfg.host.clone(),
+            )));
+        }
+        for s in 0..topo.switches {
+            let id = NodeId((topo.hosts + s) as u32);
+            let ports: Vec<Port> = topo.adj[id.index()]
+                .iter()
+                .map(|&(peer, link)| {
+                    let peer_port = topo.port_to(peer, id).expect("symmetric link");
+                    let queue = if cfg.switch.buffer.wants_priority_queues() {
+                        PortQueue::prio(cfg.switch.boost_shift)
+                    } else {
+                        PortQueue::fifo()
+                    };
+                    Port {
+                        peer,
+                        peer_port,
+                        link,
+                        queue,
+                        busy: false,
+                        host_facing: topo.is_host(peer),
+                    }
+                })
+                .collect();
+            let salt = mix64(cfg.seed ^ mix64(id.0 as u64));
+            nodes.push(Node::Switch(Switch::new(
+                id,
+                cfg.switch,
+                ports,
+                routes[s].clone(),
+                salt,
+            )));
+        }
+
+        Simulation {
+            topo,
+            nodes,
+            events: EventQueue::new(),
+            rng,
+            rec: Recorder::new(),
+            horizon: cfg.horizon,
+            next_flow: 1,
+            next_query: 1,
+            telemetry: None,
+        }
+    }
+
+    /// Enables fabric telemetry at the given sampling interval. Call
+    /// before [`Simulation::run`]; samples are available afterwards via
+    /// [`Simulation::telemetry`].
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some((cfg, Telemetry::new()));
+        self.events
+            .push(self.events.now() + cfg.interval, Event::TelemetrySample);
+    }
+
+    /// The collected telemetry time series, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref().map(|(_, t)| t)
+    }
+
+    /// The built topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.topo.hosts
+    }
+
+    /// The metrics recorder (read access for tests and workload layers).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// The run's RNG — workload generators fork their own streams off it.
+    pub fn rng(&self) -> &SimRng {
+        &self.rng
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// Allocates a fresh query id and registers its fan-out.
+    pub fn register_query(&mut self, expected_flows: u32, at: SimTime) -> QueryId {
+        let q = QueryId(self.next_query);
+        self.next_query += 1;
+        self.rec.query_started(q, expected_flows, at);
+        q
+    }
+
+    /// Schedules a `bytes`-byte flow from `src` to `dst` starting at `at`.
+    pub fn schedule_flow(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        query: QueryId,
+    ) -> FlowId {
+        assert!(src != dst, "flow to self");
+        assert!(self.topo.is_host(src) && self.topo.is_host(dst));
+        assert!(bytes > 0);
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.events.push(
+            at,
+            Event::FlowStart {
+                src,
+                dst,
+                flow,
+                query,
+                bytes,
+            },
+        );
+        flow
+    }
+
+    /// Runs the event loop up to the horizon and returns the report.
+    /// May be called once; later events are discarded.
+    pub fn run(&mut self) -> Report {
+        let horizon = SimTime::ZERO + self.horizon;
+        let Simulation {
+            nodes,
+            events,
+            rng,
+            rec,
+            telemetry,
+            ..
+        } = self;
+        while let Some(t) = events.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = events.pop().expect("peeked");
+            let mut ctx = Ctx {
+                now,
+                events,
+                rec,
+                rng,
+            };
+            match ev {
+                Event::Arrive { node, port, pkt } => match &mut nodes[node.index()] {
+                    Node::Host(h) => h.on_arrive(pkt, &mut ctx),
+                    Node::Switch(s) => s.on_arrive(port, pkt, &mut ctx),
+                },
+                Event::TxDone { node, port } => match &mut nodes[node.index()] {
+                    Node::Host(h) => h.on_tx_done(&mut ctx),
+                    Node::Switch(s) => s.on_tx_done(port, &mut ctx),
+                },
+                Event::HostTimer { node } => match &mut nodes[node.index()] {
+                    Node::Host(h) => h.on_timer(&mut ctx),
+                    Node::Switch(_) => unreachable!("switches have no timers"),
+                },
+                Event::TelemetrySample => {
+                    if let Some((tcfg, tel)) = telemetry.as_mut() {
+                        let mut queued = 0u64;
+                        let mut max_port = 0u64;
+                        for n in nodes.iter() {
+                            if let Node::Switch(s) = n {
+                                queued += s.queued_bytes();
+                                max_port = max_port.max(s.busiest_port_bytes());
+                            }
+                        }
+                        tel.record(
+                            now,
+                            queued,
+                            max_port,
+                            ctx.rec.deflections,
+                            ctx.rec.total_drops(),
+                            ctx.rec.ecn_marks,
+                        );
+                        let next = now + tcfg.interval;
+                        if next <= horizon {
+                            ctx.events.push(next, Event::TelemetrySample);
+                        }
+                    }
+                }
+                Event::FlowStart {
+                    src,
+                    dst,
+                    flow,
+                    query,
+                    bytes,
+                } => match &mut nodes[src.index()] {
+                    Node::Host(h) => h.start_flow(flow, dst, bytes, query, &mut ctx),
+                    Node::Switch(_) => unreachable!("flows start at hosts"),
+                },
+            }
+        }
+        // Bank per-host transport stats into the recorder.
+        for n in &self.nodes {
+            if let Node::Host(h) = n {
+                let s = h.stats();
+                self.rec.retransmits += s.retransmits;
+                self.rec.rtos += s.rtos;
+            }
+        }
+        Report::from_recorder(&self.rec, horizon)
+    }
+
+    /// High-water mark of single-port queue occupancy across switches.
+    pub fn max_port_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Switch(s) => Some(s.max_port_bytes),
+                Node::Host(_) => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregated ordering-shim counters across hosts (for §4.3 analyses).
+    pub fn ordering_stats(&self) -> vertigo_core::OrderingStats {
+        let mut total = vertigo_core::OrderingStats::default();
+        for n in &self.nodes {
+            if let Node::Host(h) = n {
+                if let Some(s) = h.ordering_stats() {
+                    total.in_order += s.in_order;
+                    total.buffered += s.buffered;
+                    total.gap_filled += s.gap_filled;
+                    total.timeout_released += s.timeout_released;
+                    total.timeouts += s.timeouts;
+                    total.late_or_dup += s.late_or_dup;
+                    total.dup_dropped += s.dup_dropped;
+                    total.max_depth = total.max_depth.max(s.max_depth);
+                }
+            }
+        }
+        total
+    }
+
+    /// Aggregated marking-component counters across hosts.
+    pub fn marking_stats(&self) -> vertigo_core::MarkingStats {
+        let mut total = vertigo_core::MarkingStats::default();
+        for n in &self.nodes {
+            if let Node::Host(h) = n {
+                if let Some(s) = h.marking_stats() {
+                    total.marked += s.marked;
+                    total.retransmissions += s.retransmissions;
+                    total.filter_overflows += s.filter_overflows;
+                }
+            }
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("topology", &self.topo.name)
+            .field("now", &self.events.now())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}

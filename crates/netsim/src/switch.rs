@@ -1,0 +1,367 @@
+//! The output-queued switch: forwarding, ECN marking, and the deflection
+//! machinery of §3.2.
+
+use crate::events::{Ctx, Event};
+use crate::link::LinkParams;
+use crate::policy::{BufferPolicy, ForwardPolicy, SwitchConfig};
+use crate::queue::PortQueue;
+use vertigo_pkt::{ecmp_hash, NodeId, Packet, PortId, MAX_HOPS};
+use vertigo_stats::DropCause;
+
+/// One output port: queue, link, and transmit state.
+#[derive(Debug)]
+pub struct Port {
+    /// Neighboring node.
+    pub peer: NodeId,
+    /// The neighbor's port this link lands on.
+    pub peer_port: PortId,
+    /// Link parameters.
+    pub link: LinkParams,
+    /// The output queue.
+    pub queue: PortQueue,
+    /// Whether a packet is currently being serialized.
+    pub busy: bool,
+    /// Whether the peer is a host.
+    pub host_facing: bool,
+}
+
+/// A datacenter switch.
+pub struct Switch {
+    /// This switch's node id.
+    pub id: NodeId,
+    cfg: SwitchConfig,
+    ports: Vec<Port>,
+    /// Candidate output ports per destination host.
+    routes: Vec<Vec<u16>>,
+    /// DRILL's remembered least-loaded port (m = 1), per destination.
+    drill_best: Vec<Option<u16>>,
+    /// Per-switch ECMP hash salt.
+    ecmp_salt: u64,
+    /// High-water mark of any single port queue (diagnostics).
+    pub max_port_bytes: u64,
+}
+
+impl Switch {
+    /// Builds a switch from its ports and per-destination candidate table.
+    pub fn new(
+        id: NodeId,
+        cfg: SwitchConfig,
+        ports: Vec<Port>,
+        routes: Vec<Vec<u16>>,
+        ecmp_salt: u64,
+    ) -> Self {
+        let hosts = routes.len();
+        Switch {
+            id,
+            cfg,
+            ports,
+            routes,
+            drill_best: vec![None; hosts],
+            ecmp_salt,
+            max_port_bytes: 0,
+        }
+    }
+
+    /// Immutable port access (tests, diagnostics).
+    pub fn port(&self, p: PortId) -> &Port {
+        &self.ports[p.index()]
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Total bytes queued across all ports.
+    pub fn queued_bytes(&self) -> u64 {
+        self.ports.iter().map(|p| p.queue.bytes()).sum()
+    }
+
+    /// Largest single-port occupancy right now.
+    pub fn busiest_port_bytes(&self) -> u64 {
+        self.ports.iter().map(|p| p.queue.bytes()).max().unwrap_or(0)
+    }
+
+    /// Handles a packet arriving on `in_port`.
+    pub fn on_arrive(&mut self, in_port: PortId, mut pkt: Box<Packet>, ctx: &mut Ctx) {
+        pkt.hops += 1;
+        if pkt.hops > MAX_HOPS {
+            ctx.rec.on_drop(DropCause::TtlExceeded, pkt.wire_size);
+            return;
+        }
+        let dst = pkt.dst.index();
+        debug_assert!(dst < self.routes.len(), "packet to unknown destination");
+        let out = match self.select_output(dst, &pkt, ctx) {
+            Some(p) => p,
+            None => {
+                ctx.rec.on_drop(DropCause::TtlExceeded, pkt.wire_size);
+                return;
+            }
+        };
+        self.enqueue_with_policy(out, in_port, pkt, ctx);
+    }
+
+    /// Forwarding decision: pick among the equal-cost candidates.
+    fn select_output(&mut self, dst: usize, pkt: &Packet, ctx: &mut Ctx) -> Option<u16> {
+        let cands = &self.routes[dst];
+        match cands.len() {
+            0 => None,
+            1 => Some(cands[0]),
+            n => match self.cfg.forward {
+                ForwardPolicy::Ecmp => {
+                    let h = ecmp_hash(pkt.flow.0, self.ecmp_salt);
+                    Some(cands[(h % n as u64) as usize])
+                }
+                ForwardPolicy::Drill { d } => {
+                    // Sample d random candidates plus the remembered best.
+                    let k = d.min(n);
+                    let mut best: Option<u16> = None;
+                    let mut best_bytes = u64::MAX;
+                    for i in ctx.rng.k_distinct(k, n) {
+                        let p = cands[i];
+                        let b = self.ports[p as usize].queue.bytes();
+                        if best.is_none() || b < best_bytes {
+                            best_bytes = b;
+                            best = Some(p);
+                        }
+                    }
+                    if let Some(m) = self.drill_best[dst] {
+                        if cands.contains(&m) && self.ports[m as usize].queue.bytes() < best_bytes
+                        {
+                            best = Some(m);
+                        }
+                    }
+                    self.drill_best[dst] = best;
+                    best
+                }
+                ForwardPolicy::PowerOfN { n: power } => {
+                    let k = power.max(1).min(n);
+                    let mut best: Option<u16> = None;
+                    let mut best_bytes = u64::MAX;
+                    for i in ctx.rng.k_distinct(k, n) {
+                        let p = cands[i];
+                        let b = self.ports[p as usize].queue.bytes();
+                        if best.is_none() || b < best_bytes {
+                            best_bytes = b;
+                            best = Some(p);
+                        }
+                    }
+                    best
+                }
+            },
+        }
+    }
+
+    /// ECN: mark CE when the instantaneous queue length meets the DCTCP
+    /// threshold.
+    fn maybe_mark_ecn(cfg: &SwitchConfig, queue: &PortQueue, pkt: &mut Packet, ctx: &mut Ctx) {
+        if cfg.ecn_threshold_pkts > 0 && queue.len() >= cfg.ecn_threshold_pkts {
+            let was = pkt.ecn.is_ce();
+            pkt.ecn.mark_ce();
+            if !was && pkt.ecn.is_ce() {
+                ctx.rec.ecn_marks += 1;
+            }
+        }
+    }
+
+    /// Enqueues `pkt` on `out`, applying the overflow policy when full.
+    fn enqueue_with_policy(&mut self, out: u16, in_port: PortId, mut pkt: Box<Packet>, ctx: &mut Ctx) {
+        let cap = self.cfg.port_buffer_bytes;
+        if self.ports[out as usize].queue.fits(&pkt, cap) {
+            Self::maybe_mark_ecn(&self.cfg, &self.ports[out as usize].queue, &mut pkt, ctx);
+            self.ports[out as usize].queue.push(pkt);
+            self.max_port_bytes = self.max_port_bytes.max(self.ports[out as usize].queue.bytes());
+            self.start_tx(out, ctx);
+            return;
+        }
+        match self.cfg.buffer {
+            BufferPolicy::DropTail => {
+                ctx.rec.on_drop(DropCause::QueueFull, pkt.wire_size);
+            }
+            BufferPolicy::NdpTrim => {
+                // Trim the payload and enqueue the header stub as an
+                // explicit loss signal; stubs that still do not fit (or
+                // ACKs, which have no payload to trim) are dropped.
+                if pkt.is_data() && !pkt.is_trimmed() {
+                    pkt.trim();
+                    ctx.rec.trims += 1;
+                    if self.ports[out as usize].queue.fits(&pkt, cap) {
+                        Self::maybe_mark_ecn(
+                            &self.cfg,
+                            &self.ports[out as usize].queue,
+                            &mut pkt,
+                            ctx,
+                        );
+                        self.ports[out as usize].queue.push(pkt);
+                        self.start_tx(out, ctx);
+                        return;
+                    }
+                }
+                ctx.rec.on_drop(DropCause::QueueFull, pkt.wire_size);
+            }
+            BufferPolicy::Dibs { max_deflections } => {
+                if pkt.deflections >= max_deflections {
+                    ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
+                    return;
+                }
+                // Random port with space (excluding the full output and
+                // host ports that are not the destination's).
+                let cands = self.deflect_candidates(out, pkt.dst);
+                let with_space: Vec<u16> = cands
+                    .into_iter()
+                    .filter(|&p| self.ports[p as usize].queue.fits(&pkt, cap))
+                    .collect();
+                if with_space.is_empty() {
+                    ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
+                    return;
+                }
+                let p = with_space[ctx.rng.index(with_space.len())];
+                pkt.deflections += 1;
+                ctx.rec.deflections += 1;
+                Self::maybe_mark_ecn(&self.cfg, &self.ports[p as usize].queue, &mut pkt, ctx);
+                self.ports[p as usize].queue.push(pkt);
+                self.start_tx(p, ctx);
+            }
+            BufferPolicy::Vertigo {
+                deflect_power,
+                scheduling,
+                deflection,
+            } => {
+                // Victim selection (§3.2): with scheduling, insert the
+                // arrival and evict the largest-RFS packets until the byte
+                // bound holds (footnote 4: several small packets may be
+                // displaced by one large arrival). Without scheduling, the
+                // arriving packet is the victim.
+                let mut victims: Vec<Box<Packet>> = Vec::new();
+                if scheduling {
+                    Self::maybe_mark_ecn(&self.cfg, &self.ports[out as usize].queue, &mut pkt, ctx);
+                    let q = &mut self.ports[out as usize].queue;
+                    q.push(pkt);
+                    while q.bytes() > cap {
+                        victims.push(q.evict_worst().expect("nonempty over-capacity queue"));
+                    }
+                } else {
+                    victims.push(pkt);
+                }
+                for victim in victims {
+                    if !deflection {
+                        ctx.rec.on_drop(DropCause::QueueFull, victim.wire_size);
+                        continue;
+                    }
+                    self.deflect_victim(victim, out, deflect_power, ctx);
+                }
+                self.start_tx(out, ctx);
+            }
+        }
+        let _ = in_port;
+    }
+
+    /// Ports a packet may be deflected to: everything except the full
+    /// output port and host-facing ports that do not lead to the packet's
+    /// destination (a foreign host would simply discard it).
+    fn deflect_candidates(&self, full_port: u16, dst: NodeId) -> Vec<u16> {
+        (0..self.ports.len() as u16)
+            .filter(|&p| {
+                if p == full_port {
+                    return false;
+                }
+                let port = &self.ports[p as usize];
+                !(port.host_facing && port.peer != dst)
+            })
+            .collect()
+    }
+
+    /// Vertigo deflection: power-of-n placement; on total congestion force
+    /// the victim in and drop the worst-ranked packet (paper footnote 5).
+    fn deflect_victim(&mut self, mut victim: Box<Packet>, full_port: u16, power: usize, ctx: &mut Ctx) {
+        let cap = self.cfg.port_buffer_bytes;
+        let cands = self.deflect_candidates(full_port, victim.dst);
+        if cands.is_empty() {
+            ctx.rec.on_drop(DropCause::DeflectionFull, victim.wire_size);
+            return;
+        }
+        let k = power.max(1).min(cands.len());
+        let sample: Vec<u16> = ctx
+            .rng
+            .k_distinct(k, cands.len())
+            .into_iter()
+            .map(|i| cands[i])
+            .collect();
+        // Least-loaded sampled queue.
+        let chosen = *sample
+            .iter()
+            .min_by_key(|&&p| self.ports[p as usize].queue.bytes())
+            .expect("nonempty sample");
+        if self.ports[chosen as usize].queue.fits(&victim, cap) {
+            victim.deflections += 1;
+            ctx.rec.deflections += 1;
+            Self::maybe_mark_ecn(
+                &self.cfg,
+                &self.ports[chosen as usize].queue,
+                &mut victim,
+                ctx,
+            );
+            self.ports[chosen as usize].queue.push(victim);
+            self.start_tx(chosen, ctx);
+            return;
+        }
+        // Every sampled queue is full: the network is congested. Force the
+        // victim into a random sampled queue and drop the largest-RFS
+        // overflow — congestion control must see this loss.
+        let forced = sample[ctx.rng.index(sample.len())];
+        victim.deflections += 1;
+        ctx.rec.deflections += 1;
+        let q = &mut self.ports[forced as usize].queue;
+        q.push(victim);
+        while q.bytes() > cap {
+            let dropped = q.evict_worst().expect("nonempty over-capacity queue");
+            ctx.rec.on_drop(DropCause::DeflectionFull, dropped.wire_size);
+        }
+        self.start_tx(forced, ctx);
+    }
+
+    /// Starts transmission on `port` if it is idle and has queued packets.
+    pub fn start_tx(&mut self, port: u16, ctx: &mut Ctx) {
+        let p = &mut self.ports[port as usize];
+        if p.busy {
+            return;
+        }
+        let Some(pkt) = p.queue.pop_next() else {
+            return;
+        };
+        p.busy = true;
+        let ser = p.link.tx_time(pkt.wire_size);
+        let arrive_at = ctx.now + ser + p.link.prop_delay;
+        ctx.events.push(
+            ctx.now + ser,
+            Event::TxDone {
+                node: self.id,
+                port: PortId(port),
+            },
+        );
+        ctx.events.push(
+            arrive_at,
+            Event::Arrive {
+                node: p.peer,
+                port: p.peer_port,
+                pkt,
+            },
+        );
+    }
+
+    /// Serialization finished on `port`: free it and continue draining.
+    pub fn on_tx_done(&mut self, port: PortId, ctx: &mut Ctx) {
+        self.ports[port.index()].busy = false;
+        self.start_tx(port.0, ctx);
+    }
+}
+
+impl std::fmt::Debug for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Switch")
+            .field("id", &self.id)
+            .field("ports", &self.ports.len())
+            .field("queued_bytes", &self.queued_bytes())
+            .finish()
+    }
+}

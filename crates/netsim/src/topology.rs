@@ -1,0 +1,396 @@
+//! Datacenter topologies and routing.
+//!
+//! Node numbering: hosts occupy ids `0..hosts`, switches `hosts..hosts+switches`.
+//! Ports are the index into a node's adjacency list. Two builders cover the
+//! paper's evaluation:
+//!
+//! * [`Topology::leaf_spine`] — the two-tier topology of §4.1 (paper scale:
+//!   4 spines ("cores"), 8 leaves ("aggregates"), 40 hosts per leaf, 10 Gbps
+//!   host links, 40 Gbps fabric links);
+//! * [`Topology::fat_tree`] — the k-ary fat-tree of Fig. 7 (k=8: 128 hosts,
+//!   80 switches, 10 Gbps everywhere).
+//!
+//! Routing tables are computed by per-destination BFS over the switch
+//! graph, so **every** switch has a next-hop set toward **every** host —
+//! a deflected packet that lands off the shortest path is simply routed
+//! onward from wherever it is, which is exactly what deflection needs.
+
+use crate::link::LinkParams;
+use vertigo_pkt::{NodeId, PortId};
+
+/// An immutable network topology: adjacency (ports) plus link parameters.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Number of hosts (node ids `0..hosts`).
+    pub hosts: usize,
+    /// Number of switches (node ids `hosts..hosts+switches`).
+    pub switches: usize,
+    /// Per-node ordered port list: `adj[node][port] = (peer, link)`.
+    pub adj: Vec<Vec<(NodeId, LinkParams)>>,
+}
+
+impl Topology {
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.hosts + self.switches
+    }
+
+    /// Whether `n` is a host.
+    pub fn is_host(&self, n: NodeId) -> bool {
+        n.index() < self.hosts
+    }
+
+    /// The switch a host hangs off (its single port's peer).
+    pub fn access_switch(&self, host: NodeId) -> NodeId {
+        debug_assert!(self.is_host(host));
+        self.adj[host.index()][0].0
+    }
+
+    /// The port on `node` that faces `peer`, if adjacent.
+    pub fn port_to(&self, node: NodeId, peer: NodeId) -> Option<PortId> {
+        self.adj[node.index()]
+            .iter()
+            .position(|&(p, _)| p == peer)
+            .map(|i| PortId(i as u16))
+    }
+
+    /// Aggregate host-facing capacity in bits per second (the load
+    /// denominator used throughout the paper's "% aggregate network load").
+    pub fn total_host_bw_bps(&self) -> u64 {
+        (0..self.hosts)
+            .map(|h| self.adj[h][0].1.rate_bps)
+            .sum()
+    }
+
+    /// Internal consistency check: symmetric adjacency with matching link
+    /// parameters, exactly one port per host.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.adj.len() != self.num_nodes() {
+            return Err(format!(
+                "adjacency rows {} != nodes {}",
+                self.adj.len(),
+                self.num_nodes()
+            ));
+        }
+        for h in 0..self.hosts {
+            if self.adj[h].len() != 1 {
+                return Err(format!("host n{h} has {} ports, want 1", self.adj[h].len()));
+            }
+        }
+        for (n, ports) in self.adj.iter().enumerate() {
+            for &(peer, link) in ports {
+                let back = self.adj[peer.index()]
+                    .iter()
+                    .find(|&&(p, _)| p.index() == n);
+                match back {
+                    None => return Err(format!("link n{n}->{peer} has no reverse")),
+                    Some(&(_, l2)) if l2 != link => {
+                        return Err(format!("asymmetric link params n{n}<->{peer}"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a two-tier leaf-spine fabric. Hosts attach to leaves; every
+    /// leaf connects to every spine.
+    pub fn leaf_spine(
+        spines: usize,
+        leaves: usize,
+        hosts_per_leaf: usize,
+        host_link: LinkParams,
+        fabric_link: LinkParams,
+    ) -> Topology {
+        assert!(spines >= 1 && leaves >= 2 && hosts_per_leaf >= 1);
+        let hosts = leaves * hosts_per_leaf;
+        let switches = leaves + spines;
+        let leaf_id = |l: usize| NodeId((hosts + l) as u32);
+        let spine_id = |s: usize| NodeId((hosts + leaves + s) as u32);
+
+        let mut adj: Vec<Vec<(NodeId, LinkParams)>> = vec![Vec::new(); hosts + switches];
+        for h in 0..hosts {
+            let l = h / hosts_per_leaf;
+            adj[h].push((leaf_id(l), host_link));
+        }
+        for l in 0..leaves {
+            let li = leaf_id(l).index();
+            for h in 0..hosts_per_leaf {
+                adj[li].push((NodeId((l * hosts_per_leaf + h) as u32), host_link));
+            }
+            for s in 0..spines {
+                adj[li].push((spine_id(s), fabric_link));
+            }
+        }
+        for s in 0..spines {
+            let si = spine_id(s).index();
+            for l in 0..leaves {
+                adj[si].push((leaf_id(l), fabric_link));
+            }
+        }
+        let t = Topology {
+            name: format!("leaf-spine({spines}x{leaves}x{hosts_per_leaf})"),
+            hosts,
+            switches,
+            adj,
+        };
+        debug_assert!(t.validate().is_ok());
+        t
+    }
+
+    /// Builds a k-ary fat-tree (Al-Fares et al.): `k` pods of `k/2` edge and
+    /// `k/2` aggregation switches, `(k/2)²` cores, `k³/4` hosts.
+    pub fn fat_tree(k: usize, link: LinkParams) -> Topology {
+        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k");
+        let half = k / 2;
+        let hosts = k * k * k / 4;
+        let switches = k * k + half * half;
+        let edge_id = |p: usize, e: usize| NodeId((hosts + p * k + e) as u32);
+        let agg_id = |p: usize, a: usize| NodeId((hosts + p * k + half + a) as u32);
+        let core_id = |c: usize| NodeId((hosts + k * k + c) as u32);
+
+        let mut adj: Vec<Vec<(NodeId, LinkParams)>> = vec![Vec::new(); hosts + switches];
+        let hosts_per_pod = half * half;
+        for h in 0..hosts {
+            let p = h / hosts_per_pod;
+            let e = (h % hosts_per_pod) / half;
+            adj[h].push((edge_id(p, e), link));
+        }
+        for p in 0..k {
+            for e in 0..half {
+                let ei = edge_id(p, e).index();
+                for j in 0..half {
+                    let h = p * hosts_per_pod + e * half + j;
+                    adj[ei].push((NodeId(h as u32), link));
+                }
+                for a in 0..half {
+                    adj[ei].push((agg_id(p, a), link));
+                }
+            }
+            for a in 0..half {
+                let ai = agg_id(p, a).index();
+                for e in 0..half {
+                    adj[ai].push((edge_id(p, e), link));
+                }
+                for j in 0..half {
+                    adj[ai].push((core_id(a * half + j), link));
+                }
+            }
+        }
+        for c in 0..half * half {
+            let ci = core_id(c).index();
+            let a = c / half;
+            for p in 0..k {
+                adj[ci].push((agg_id(p, a), link));
+            }
+        }
+        let t = Topology {
+            name: format!("fat-tree(k={k})"),
+            hosts,
+            switches,
+            adj,
+        };
+        debug_assert!(t.validate().is_ok());
+        t
+    }
+
+    /// BFS distances (in switch hops) from `src_switch` to every switch.
+    fn switch_dists(&self, src_switch: NodeId) -> Vec<u32> {
+        let n = self.num_nodes();
+        let mut dist = vec![u32::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        dist[src_switch.index()] = 0;
+        q.push_back(src_switch);
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in &self.adj[u.index()] {
+                if self.is_host(v) {
+                    continue;
+                }
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Computes, for every switch, the candidate output ports toward every
+    /// host: `routes[switch - hosts][dst_host]` is the list of ports on
+    /// shortest switch-level paths (or the host port at the access switch).
+    pub fn switch_routes(&self) -> Vec<Vec<Vec<u16>>> {
+        // Distances are shared by all hosts under one access switch.
+        let mut dists_by_access: std::collections::HashMap<NodeId, Vec<u32>> =
+            std::collections::HashMap::new();
+        for h in 0..self.hosts {
+            let a = self.access_switch(NodeId(h as u32));
+            dists_by_access
+                .entry(a)
+                .or_insert_with(|| self.switch_dists(a));
+        }
+        let mut routes = vec![vec![Vec::new(); self.hosts]; self.switches];
+        for s in 0..self.switches {
+            let sw = NodeId((self.hosts + s) as u32);
+            for h in 0..self.hosts {
+                let host = NodeId(h as u32);
+                let access = self.access_switch(host);
+                if sw == access {
+                    let p = self.port_to(sw, host).expect("host attached");
+                    routes[s][h].push(p.0);
+                    continue;
+                }
+                let dist = &dists_by_access[&access];
+                let my_d = dist[sw.index()];
+                if my_d == u32::MAX || my_d == 0 {
+                    continue; // unreachable (disconnected) — leave empty
+                }
+                for (pi, &(peer, _)) in self.adj[sw.index()].iter().enumerate() {
+                    if self.is_host(peer) {
+                        continue;
+                    }
+                    if dist[peer.index()] == my_d - 1 {
+                        routes[s][h].push(pi as u16);
+                    }
+                }
+            }
+        }
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls() -> Topology {
+        Topology::leaf_spine(4, 8, 5, LinkParams::gbps(10, 500), LinkParams::gbps(40, 500))
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let t = ls();
+        assert_eq!(t.hosts, 40);
+        assert_eq!(t.switches, 12);
+        t.validate().unwrap();
+        // Every leaf: 5 host ports + 4 spine ports.
+        for l in 0..8 {
+            assert_eq!(t.adj[40 + l].len(), 9);
+        }
+        // Every spine: 8 leaf ports.
+        for s in 0..4 {
+            assert_eq!(t.adj[48 + s].len(), 8);
+        }
+        assert_eq!(t.total_host_bw_bps(), 40 * 10_000_000_000);
+    }
+
+    #[test]
+    fn paper_scale_leaf_spine() {
+        let t = Topology::leaf_spine(
+            4,
+            8,
+            40,
+            LinkParams::gbps(10, 500),
+            LinkParams::gbps(40, 500),
+        );
+        assert_eq!(t.hosts, 320, "paper: 320 servers");
+        assert_eq!(t.switches, 12, "paper: 8 aggregates + 4 cores");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn fat_tree_shape_k8() {
+        let t = Topology::fat_tree(8, LinkParams::gbps(10, 500));
+        assert_eq!(t.hosts, 128, "paper: 128 servers");
+        assert_eq!(t.switches, 80, "paper: 80 switches");
+        t.validate().unwrap();
+        // Every switch in a fat-tree has exactly k ports.
+        for s in 0..t.switches {
+            assert_eq!(t.adj[t.hosts + s].len(), 8, "switch {s}");
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4() {
+        let t = Topology::fat_tree(4, LinkParams::gbps(10, 500));
+        assert_eq!(t.hosts, 16);
+        assert_eq!(t.switches, 20);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn leaf_spine_routes() {
+        let t = ls();
+        let routes = t.switch_routes();
+        // At the destination's own leaf: exactly the host port.
+        let h0 = NodeId(0);
+        let leaf0 = t.access_switch(h0);
+        let r = &routes[leaf0.index() - t.hosts][0];
+        assert_eq!(r.len(), 1);
+        assert_eq!(t.adj[leaf0.index()][r[0] as usize].0, h0);
+        // At another leaf: all 4 spines are candidates.
+        let leaf1 = t.access_switch(NodeId(5));
+        assert_ne!(leaf0, leaf1);
+        let r = &routes[leaf1.index() - t.hosts][0];
+        assert_eq!(r.len(), 4);
+        for &p in r {
+            let peer = t.adj[leaf1.index()][p as usize].0;
+            assert!(peer.index() >= t.hosts + 8, "candidate must be a spine");
+        }
+        // At a spine: exactly the port down to leaf 0.
+        let spine = NodeId((t.hosts + 8) as u32);
+        let r = &routes[spine.index() - t.hosts][0];
+        assert_eq!(r.len(), 1);
+        assert_eq!(t.adj[spine.index()][r[0] as usize].0, leaf0);
+    }
+
+    #[test]
+    fn fat_tree_routes_have_ecmp_fanout() {
+        let t = Topology::fat_tree(4, LinkParams::gbps(10, 500));
+        let routes = t.switch_routes();
+        // From an edge switch in pod 0 to a host in pod 3: k/2 = 2 agg
+        // candidates.
+        let h_far = t.hosts - 1;
+        let edge0 = t.access_switch(NodeId(0));
+        let r = &routes[edge0.index() - t.hosts][h_far];
+        assert_eq!(r.len(), 2);
+        // Every switch can reach every host.
+        for s in 0..t.switches {
+            for h in 0..t.hosts {
+                assert!(
+                    !routes[s][h].is_empty(),
+                    "switch {s} has no route to host {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_always_make_progress() {
+        // Walking greedily along any candidate port must reach the
+        // destination within the network diameter — for every (switch, host)
+        // pair in a k=4 fat-tree.
+        let t = Topology::fat_tree(4, LinkParams::gbps(10, 500));
+        let routes = t.switch_routes();
+        for s in 0..t.switches {
+            for h in 0..t.hosts {
+                let mut cur = NodeId((t.hosts + s) as u32);
+                let mut hops = 0;
+                loop {
+                    let r = &routes[cur.index() - t.hosts][h];
+                    let port = r[0] as usize; // deterministic first candidate
+                    let next = t.adj[cur.index()][port].0;
+                    hops += 1;
+                    assert!(hops <= 6, "no progress from switch {s} to host {h}");
+                    if next == NodeId(h as u32) {
+                        break;
+                    }
+                    assert!(!t.is_host(next), "routed into a wrong host");
+                    cur = next;
+                }
+            }
+        }
+    }
+}

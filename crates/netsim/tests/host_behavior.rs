@@ -1,0 +1,208 @@
+//! Unit-level behavior tests for the end host: the TX path (windowing →
+//! marking → NIC serialization) and the RX path (ordering → receiver →
+//! ACK generation), driven directly with hand-made events.
+
+use vertigo_netsim::{Ctx, Event, Host, HostConfig, LinkParams};
+use vertigo_pkt::{
+    DataSeg, Ecn, FlowId, NodeId, Packet, PacketKind, PortId, QueryId, FLOWINFO_OVERHEAD_BYTES,
+};
+use vertigo_simcore::{EventQueue, SimRng, SimTime};
+use vertigo_stats::Recorder;
+use vertigo_transport::{CcKind, TransportConfig};
+
+const ME: NodeId = NodeId(0);
+const TOR: NodeId = NodeId(8);
+const PEER_HOST: NodeId = NodeId(5);
+
+struct Harness {
+    events: EventQueue<Event>,
+    rec: Recorder,
+    rng: SimRng,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            events: EventQueue::new(),
+            rec: Recorder::new(),
+            rng: SimRng::new(3),
+        }
+    }
+
+    fn ctx(&mut self) -> Ctx<'_> {
+        Ctx {
+            now: self.events.now(),
+            events: &mut self.events,
+            rec: &mut self.rec,
+            rng: &mut self.rng,
+        }
+    }
+
+    /// Drains all pending events, returning the data packets that left the
+    /// host toward the ToR (feeding TxDone back into the host so the NIC
+    /// keeps draining).
+    fn drain_tx(&mut self, host: &mut Host) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Some((_, ev)) = self.events.pop() {
+            match ev {
+                Event::Arrive { node, pkt, .. } => {
+                    assert_eq!(node, TOR, "host emits toward its ToR");
+                    out.push(*pkt);
+                }
+                Event::TxDone { node, .. } => {
+                    assert_eq!(node, ME);
+                    let mut ctx = Ctx {
+                        now: self.events.now(),
+                        events: &mut self.events,
+                        rec: &mut self.rec,
+                        rng: &mut self.rng,
+                    };
+                    host.on_tx_done(&mut ctx);
+                }
+                Event::HostTimer { .. } => { /* quiescent here */ }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+fn vertigo_host() -> Host {
+    Host::new(
+        ME,
+        TOR,
+        PortId(2),
+        LinkParams::gbps(10, 500),
+        HostConfig::vertigo(TransportConfig::default_for(CcKind::Dctcp)),
+    )
+}
+
+#[test]
+fn tx_path_marks_and_serializes_initial_window() {
+    let mut h = Harness::new();
+    let mut host = vertigo_host();
+    host.start_flow(FlowId(1), PEER_HOST, 20 * 1460, QueryId::NONE, &mut h.ctx());
+    let pkts = h.drain_tx(&mut host);
+    assert_eq!(pkts.len(), 10, "initial window of 10 MSS");
+    // Every packet is marked; RFS counts down; first flag on packet 0.
+    for (i, p) in pkts.iter().enumerate() {
+        assert_eq!(p.dst, PEER_HOST);
+        assert!(matches!(p.ecn, Ecn::Capable), "DCTCP sets ECT");
+        let fi = p.flowinfo.expect("marked");
+        assert_eq!(fi.rfs as u64, (20 - i as u64) * 1460);
+        assert_eq!(fi.first, i == 0);
+        assert_eq!(
+            p.wire_size,
+            1460 + 40 + FLOWINFO_OVERHEAD_BYTES,
+            "wire accounts for the flowinfo header"
+        );
+    }
+    // Serialization is paced by the NIC: timestamps strictly increase.
+    let times: Vec<_> = pkts.iter().map(|p| p.sent_at).collect();
+    for w in times.windows(2) {
+        assert!(w[0] < w[1], "NIC serializes one packet at a time");
+    }
+    assert_eq!(h.rec.data_sent, 10);
+}
+
+#[test]
+fn rx_path_receives_and_acks() {
+    let mut h = Harness::new();
+    let mut host = vertigo_host();
+    // Two in-order data packets of a 2-packet flow arrive from the wire.
+    for k in 0..2u64 {
+        let mut pkt = Packet::data(
+            100 + k,
+            FlowId(9),
+            QueryId::NONE,
+            PEER_HOST,
+            ME,
+            DataSeg {
+                seq: k * 1460,
+                payload: 1460,
+                flow_bytes: 2 * 1460,
+                retransmit: false,
+                trimmed: false,
+            },
+            true,
+            SimTime::ZERO,
+        );
+        pkt.tag_flowinfo(vertigo_pkt::FlowInfo {
+            rfs: ((2 - k) * 1460) as u32,
+            retcnt: 0,
+            flow_seq: 0,
+            first: k == 0,
+        });
+        host.on_arrive(Box::new(pkt), &mut h.ctx());
+    }
+    // The flow is recorded complete and ACKs head back to the sender.
+    let acks = h.drain_tx(&mut host);
+    assert_eq!(acks.len(), 2);
+    for a in &acks {
+        assert!(matches!(a.kind, PacketKind::Ack(_)));
+        assert_eq!(a.dst, PEER_HOST);
+    }
+    let last = acks.last().unwrap().ack_seg().unwrap();
+    assert_eq!(last.cum_ack, 2 * 1460);
+    assert_eq!(h.rec.data_delivered, 2);
+    assert_eq!(h.rec.goodput_bytes, 2 * 1460);
+    assert!(h.rec.flows.is_empty(), "receiver side does not own the flow record");
+}
+
+#[test]
+fn ack_arrival_opens_the_window() {
+    let mut h = Harness::new();
+    let mut host = vertigo_host();
+    host.start_flow(FlowId(1), PEER_HOST, 100 * 1460, QueryId::NONE, &mut h.ctx());
+    let first = h.drain_tx(&mut host);
+    assert_eq!(first.len(), 10);
+    // ACK for the first segment arrives.
+    let ack = Packet::ack(
+        900,
+        FlowId(1),
+        QueryId::NONE,
+        PEER_HOST,
+        ME,
+        vertigo_pkt::AckSeg {
+            cum_ack: 1460,
+            ecn_echo: false,
+            ts_echo: first[0].sent_at,
+            reorder_seen: 0,
+        },
+        SimTime::ZERO,
+    );
+    host.on_arrive(Box::new(ack), &mut h.ctx());
+    let next = h.drain_tx(&mut host);
+    assert_eq!(next.len(), 2, "slow start: 1 freed + 1 grown");
+    assert_eq!(host.active_senders(), 1);
+}
+
+#[test]
+fn flow_record_lifecycle_lives_at_the_sender() {
+    let mut h = Harness::new();
+    let mut host = vertigo_host();
+    host.start_flow(FlowId(1), PEER_HOST, 1460, QueryId::NONE, &mut h.ctx());
+    assert_eq!(h.rec.flows.len(), 1, "flow registered on start");
+    let pkts = h.drain_tx(&mut host);
+    assert_eq!(pkts.len(), 1);
+    // Final ACK retires the sender and its marking state.
+    let ack = Packet::ack(
+        900,
+        FlowId(1),
+        QueryId::NONE,
+        PEER_HOST,
+        ME,
+        vertigo_pkt::AckSeg {
+            cum_ack: 1460,
+            ecn_echo: false,
+            ts_echo: pkts[0].sent_at,
+            reorder_seen: 0,
+        },
+        SimTime::ZERO,
+    );
+    host.on_arrive(Box::new(ack), &mut h.ctx());
+    assert_eq!(host.active_senders(), 0, "sender state freed on completion");
+    let hs = host.stats();
+    assert_eq!(hs.segments_sent, 1);
+    assert_eq!(hs.retransmits, 0);
+}

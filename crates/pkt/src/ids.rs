@@ -1,0 +1,110 @@
+//! Identifier newtypes for nodes, ports, flows, and queries.
+//!
+//! Hosts and switches share one [`NodeId`] space (the topology builder
+//! assigns hosts first, then switches). Newtypes rather than raw integers
+//! keep the many `u32`s in switch code from being swapped silently.
+
+use std::fmt;
+
+/// A node (host or switch) in the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A port index local to one node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+/// A transport flow (one direction of a connection).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// An application-level incast query; `QueryId(0)` is reserved to mean
+/// "background traffic, not part of any query".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl QueryId {
+    /// The reserved id for flows that belong to no query.
+    pub const NONE: QueryId = QueryId(0);
+
+    /// Whether this id refers to a real query.
+    pub fn is_query(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl NodeId {
+    /// The raw index, usable directly into node arenas.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// The raw index, usable directly into port tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_none_sentinel() {
+        assert!(!QueryId::NONE.is_query());
+        assert!(QueryId(7).is_query());
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(PortId(7).index(), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(PortId(1).to_string(), "p1");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+}

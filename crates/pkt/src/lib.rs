@@ -1,0 +1,21 @@
+//! # vertigo-pkt
+//!
+//! Packet, flow, and addressing primitives shared by every crate in the
+//! Vertigo workspace: identifier newtypes ([`NodeId`], [`PortId`],
+//! [`FlowId`], [`QueryId`]), the metadata-only [`Packet`] model with exact
+//! wire-size accounting, the [`FlowInfo`] header, and deterministic hashing
+//! for ECMP-style placement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod ids;
+mod packet;
+
+pub use hash::{ecmp_hash, fnv1a, fnv1a_u64, mix64};
+pub use ids::{FlowId, NodeId, PortId, QueryId};
+pub use packet::{
+    AckSeg, DataSeg, Ecn, FlowInfo, Packet, PacketKind, ACK_WIRE_BYTES, DATA_HEADER_BYTES,
+    FLOWINFO_OVERHEAD_BYTES, MAX_HOPS, MAX_PAYLOAD,
+};

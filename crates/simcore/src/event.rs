@@ -1,0 +1,195 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! [`EventQueue`] is a time-ordered priority queue. Events scheduled for the
+//! same instant pop in insertion order (a monotonic sequence number breaks
+//! ties), which makes whole simulations bit-reproducible for a given seed —
+//! a property the test suite asserts end to end.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+// Ordering considers only (at, seq) — the payload needs no comparison
+// traits, and (at, seq) is unique per entry so the ordering is total.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// The queue tracks the current simulation clock: [`EventQueue::pop`]
+/// advances it to the timestamp of the event being delivered, and scheduling
+/// an event in the past is a logic error caught by a debug assertion (it is
+/// clamped to `now` in release builds so a simulation never travels back in
+/// time).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `ev` for delivery at `at`.
+    ///
+    /// `at` must not be earlier than the current clock; in debug builds this
+    /// panics, in release builds the event is clamped to `now`.
+    pub fn push(&mut self, at: SimTime, ev: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled an event in the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.ev))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_millis(5), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(5));
+        // Scheduling relative to the advanced clock works.
+        q.push(q.now() + SimDuration::from_millis(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(6)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "in the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), ());
+        q.pop();
+        q.push(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_nanos(1), 1);
+        q.push(SimTime::from_nanos(2), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 10u64);
+        q.push(SimTime::from_nanos(50), 50);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!(v, 10);
+        q.push(t + SimDuration::from_nanos(5), 15);
+        q.push(t + SimDuration::from_nanos(25), 35);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![15, 35, 50]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # vertigo-simcore
+//!
+//! The deterministic discrete-event simulation kernel underneath the Vertigo
+//! reproduction. It deliberately knows nothing about networks: it provides
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulation clock,
+//! * [`EventQueue`] — a time-ordered event queue with FIFO tie-breaking,
+//! * [`SimRng`] — seeded randomness with forkable independent streams,
+//! * [`TimerSlot`] / [`TimerToken`] — O(1)-cancellable logical timers.
+//!
+//! Determinism contract: given the same seed and the same sequence of
+//! `push`/`pop` calls, a simulation built on these primitives produces
+//! bit-identical results. Nothing in this crate reads wall-clock time or
+//! global RNG state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod time;
+mod timer;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use timer::{TimerSlot, TimerToken};

@@ -1,0 +1,236 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic choices in a run — workload arrivals, ECMP hashing salt,
+//! DRILL/DIBS/Vertigo port sampling — draw from a single [`SimRng`] seeded
+//! from the experiment config. Independent *streams* can be forked so that,
+//! e.g., changing the workload seed does not perturb switch sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator with simulation-oriented helpers.
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator (or its root ancestor stream) was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forks an independent stream identified by `stream`. Streams with
+    /// different ids are decorrelated; forking does not advance `self`.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix64-style mix of (seed, stream) into a fresh seed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Uniform `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() on empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Two *distinct* uniform indices in `[0, n)`; requires `n >= 2`.
+    ///
+    /// This is the sampling primitive behind every power-of-two-choices
+    /// decision in the simulator.
+    pub fn two_distinct(&mut self, n: usize) -> (usize, usize) {
+        assert!(n >= 2, "two_distinct() needs at least 2 options");
+        let a = self.index(n);
+        let mut b = self.index(n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
+    }
+
+    /// `k` distinct uniform indices in `[0, n)` (partial Fisher–Yates).
+    /// Requires `k <= n`.
+    pub fn k_distinct(&mut self, k: usize, n: usize) -> Vec<usize> {
+        assert!(k <= n, "k_distinct(k={k}, n={n})");
+        // For small k relative to n, rejection sampling is cheaper than
+        // materializing [0, n); for dense draws use Fisher–Yates.
+        if k * 4 <= n {
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let c = self.index(n);
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            out
+        } else {
+            let mut pool: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.index(n - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(k);
+            pool
+        }
+    }
+
+    /// Exponentially distributed sample with the given mean (inverse-CDF
+    /// method). Used for Poisson arrival processes.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimRng(seed={})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_decorrelated() {
+        let root = SimRng::new(7);
+        let mut f1 = root.fork(1);
+        let mut f1b = root.fork(1);
+        let mut f2 = root.fork(2);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn two_distinct_never_collides() {
+        let mut r = SimRng::new(3);
+        for n in 2..10usize {
+            for _ in 0..1000 {
+                let (a, b) = r.two_distinct(n);
+                assert_ne!(a, b);
+                assert!(a < n && b < n);
+            }
+        }
+    }
+
+    #[test]
+    fn two_distinct_is_roughly_uniform() {
+        let mut r = SimRng::new(9);
+        let n = 4;
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            let (a, b) = r.two_distinct(n);
+            counts[a] += 1;
+            counts[b] += 1;
+        }
+        // Each index should appear in ~ 2*40000/4 = 20000 draws, ±10 %.
+        for &c in &counts {
+            assert!((18_000..22_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn k_distinct_properties() {
+        let mut r = SimRng::new(5);
+        for &(k, n) in &[(1usize, 10usize), (3, 10), (10, 10), (2, 100)] {
+            let xs = r.k_distinct(k, n);
+            assert_eq!(xs.len(), k);
+            let mut sorted = xs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {xs:?}");
+            assert!(xs.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::new(11);
+        let mean = 250.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let emp = sum / n as f64;
+        assert!(
+            (emp - mean).abs() < mean * 0.05,
+            "empirical mean {emp} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

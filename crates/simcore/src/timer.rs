@@ -1,0 +1,116 @@
+//! Logical timers with cheap cancellation.
+//!
+//! The event queue has no `remove` operation (heap removal is O(n)), so
+//! timers use the classic *generation token* scheme: arming a [`TimerSlot`]
+//! bumps its generation and returns a [`TimerToken`]; when the timer event
+//! later fires, the owner checks the token against the slot — a stale token
+//! means the timer was re-armed or cancelled in the meantime and the firing
+//! is ignored. Cancel and re-arm are O(1); stale heap entries are garbage-
+//! collected as they pop.
+
+use crate::time::SimTime;
+
+/// An armed-timer handle carried inside the scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(u64);
+
+/// The owner-side state of one logical timer.
+#[derive(Debug, Default)]
+pub struct TimerSlot {
+    generation: u64,
+    deadline: Option<SimTime>,
+}
+
+impl TimerSlot {
+    /// Creates a disarmed timer.
+    pub fn new() -> Self {
+        TimerSlot {
+            generation: 0,
+            deadline: None,
+        }
+    }
+
+    /// Arms (or re-arms) the timer for `at`, invalidating any earlier token.
+    /// The caller must schedule an event at `at` carrying the returned token.
+    pub fn arm(&mut self, at: SimTime) -> TimerToken {
+        self.generation += 1;
+        self.deadline = Some(at);
+        TimerToken(self.generation)
+    }
+
+    /// Cancels the timer; any outstanding token becomes stale.
+    pub fn cancel(&mut self) {
+        self.generation += 1;
+        self.deadline = None;
+    }
+
+    /// Whether the timer is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// Checks a firing token. Returns `true` (and disarms the slot) iff the
+    /// token is current — i.e. this firing is the one most recently armed.
+    pub fn fire(&mut self, token: TimerToken) -> bool {
+        if self.deadline.is_some() && token.0 == self.generation {
+            self.deadline = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_fire() {
+        let mut s = TimerSlot::new();
+        let tok = s.arm(SimTime::from_micros(5));
+        assert!(s.is_armed());
+        assert_eq!(s.deadline(), Some(SimTime::from_micros(5)));
+        assert!(s.fire(tok));
+        assert!(!s.is_armed());
+        // A second fire of the same token is stale.
+        assert!(!s.fire(tok));
+    }
+
+    #[test]
+    fn rearm_invalidates_old_token() {
+        let mut s = TimerSlot::new();
+        let t1 = s.arm(SimTime::from_micros(5));
+        let t2 = s.arm(SimTime::from_micros(9));
+        assert!(!s.fire(t1), "stale token must not fire");
+        assert!(s.is_armed());
+        assert!(s.fire(t2));
+    }
+
+    #[test]
+    fn cancel_invalidates() {
+        let mut s = TimerSlot::new();
+        let t = s.arm(SimTime::from_micros(5));
+        s.cancel();
+        assert!(!s.is_armed());
+        assert!(!s.fire(t));
+    }
+
+    #[test]
+    fn interleaved_sequences() {
+        let mut s = TimerSlot::new();
+        let mut last = None;
+        for i in 1..100u64 {
+            last = Some(s.arm(SimTime::from_nanos(i)));
+        }
+        // Only the final token is live.
+        let live = last.unwrap();
+        assert!(s.fire(live));
+        assert!(!s.fire(live));
+    }
+}

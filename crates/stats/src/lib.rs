@@ -1,0 +1,19 @@
+//! # vertigo-stats
+//!
+//! Metric recording and summarization for the Vertigo reproduction:
+//! [`Recorder`] is the sink every simulator component reports into,
+//! [`Report`] computes the quantities the paper plots (FCT/QCT
+//! distributions, completion ratios, goodput, drop/deflection/reorder
+//! rates), and [`summary`] holds the numeric primitives (percentiles,
+//! CDFs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recorder;
+pub mod report;
+pub mod summary;
+
+pub use recorder::{DropCause, FlowRecord, QueryRecord, Recorder, DROP_CAUSES};
+pub use report::{Report, ELEPHANT_BYTES, MICE_BYTES};
+pub use summary::{mean, percentile, percentile_sorted, Cdf, Running};

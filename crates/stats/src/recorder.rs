@@ -1,0 +1,297 @@
+//! The metrics recorder threaded through a simulation run.
+//!
+//! Every component reports here: hosts record flow lifecycles, switches
+//! record drops/deflections/ECN marks, receivers record delivery and
+//! reordering. [`crate::report::Report`] turns the raw records into the
+//! quantities the paper plots (FCT, QCT, completion ratios, goodput,
+//! drop and reorder rates, hop inflation).
+
+use std::collections::BTreeMap;
+use vertigo_pkt::{FlowId, NodeId, QueryId};
+use vertigo_simcore::SimTime;
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Output queue full and the policy does not deflect (or the victim had
+    /// nowhere to go under Vertigo's eviction).
+    QueueFull,
+    /// Deflection attempted but the sampled deflection queue(s) were full.
+    DeflectionFull,
+    /// Hop budget exceeded (routing loop guard).
+    TtlExceeded,
+    /// A host NIC queue overflowed.
+    HostQueue,
+}
+
+/// Number of drop causes (array sizing).
+pub const DROP_CAUSES: usize = 4;
+
+impl DropCause {
+    /// Stable index for counters.
+    pub fn index(self) -> usize {
+        match self {
+            DropCause::QueueFull => 0,
+            DropCause::DeflectionFull => 1,
+            DropCause::TtlExceeded => 2,
+            DropCause::HostQueue => 3,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::QueueFull => "queue-full",
+            DropCause::DeflectionFull => "deflection-full",
+            DropCause::TtlExceeded => "ttl-exceeded",
+            DropCause::HostQueue => "host-queue",
+        }
+    }
+}
+
+/// Lifecycle record of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Query the flow belongs to (`QueryId::NONE` for background traffic).
+    pub query: QueryId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// When the application opened the flow.
+    pub start: SimTime,
+    /// When the receiver application had every byte (None: never finished).
+    pub finished: Option<SimTime>,
+    /// Unique bytes delivered to the receiver so far (equals `bytes` once
+    /// finished; partial progress for flows cut off by the horizon).
+    pub delivered_bytes: u64,
+}
+
+impl FlowRecord {
+    /// Flow completion time in seconds, if completed.
+    pub fn fct_secs(&self) -> Option<f64> {
+        self.finished
+            .map(|f| f.saturating_since(self.start).as_secs_f64())
+    }
+}
+
+/// Lifecycle record of one incast query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Query id.
+    pub query: QueryId,
+    /// When the query was issued.
+    pub start: SimTime,
+    /// Reply flows the query fans out to.
+    pub expected_flows: u32,
+    /// Reply flows completed so far.
+    pub done_flows: u32,
+    /// When the last reply finished (None: incomplete at horizon).
+    pub finished: Option<SimTime>,
+}
+
+impl QueryRecord {
+    /// Query completion time in seconds, if completed.
+    pub fn qct_secs(&self) -> Option<f64> {
+        self.finished
+            .map(|f| f.saturating_since(self.start).as_secs_f64())
+    }
+}
+
+/// Central metrics sink for one simulation run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// All flows ever started.
+    pub flows: BTreeMap<FlowId, FlowRecord>,
+    /// All queries ever issued.
+    pub queries: BTreeMap<QueryId, QueryRecord>,
+    /// Packet drops by cause.
+    pub drops: [u64; DROP_CAUSES],
+    /// Bytes dropped.
+    pub dropped_bytes: u64,
+    /// Deflection events.
+    pub deflections: u64,
+    /// Packets trimmed to header-only stubs (NdpTrim extension policy).
+    pub trims: u64,
+    /// ECN CE marks applied by switches.
+    pub ecn_marks: u64,
+    /// Data packets handed to a destination host.
+    pub data_delivered: u64,
+    /// Sum of switch hops over delivered data packets.
+    pub hops_delivered: u64,
+    /// Unique application bytes delivered (goodput numerator).
+    pub goodput_bytes: u64,
+    /// Out-of-order arrivals as seen by the transport (post-shim).
+    pub transport_reorders: u64,
+    /// Data packets transmitted by hosts (including retransmissions).
+    pub data_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// RTO firings across all senders.
+    pub rtos: u64,
+    /// Sum of per-packet queueing delay in seconds for mice flows
+    /// (< 100 KB), and their packet count, for the §2 queueing statistic.
+    pub mice_queueing_secs: f64,
+    /// Packets behind `mice_queueing_secs`.
+    pub mice_queueing_pkts: u64,
+}
+
+impl Recorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Registers a flow opening.
+    pub fn flow_started(
+        &mut self,
+        flow: FlowId,
+        query: QueryId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        at: SimTime,
+    ) {
+        self.flows.insert(
+            flow,
+            FlowRecord {
+                flow,
+                query,
+                src,
+                dst,
+                bytes,
+                start: at,
+                finished: None,
+                delivered_bytes: 0,
+            },
+        );
+    }
+
+    /// Records `delta` newly delivered unique bytes for `flow` (goodput
+    /// numerator + per-flow progress for elephant-goodput accounting).
+    pub fn flow_progress(&mut self, flow: FlowId, delta: u64) {
+        self.goodput_bytes += delta;
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            rec.delivered_bytes += delta;
+        }
+    }
+
+    /// Registers a query fan-out (call before starting its flows).
+    pub fn query_started(&mut self, query: QueryId, expected_flows: u32, at: SimTime) {
+        self.queries.insert(
+            query,
+            QueryRecord {
+                query,
+                start: at,
+                expected_flows,
+                done_flows: 0,
+                finished: None,
+            },
+        );
+    }
+
+    /// Marks a flow finished (receiver has every byte), updating its query.
+    pub fn flow_finished(&mut self, flow: FlowId, at: SimTime) {
+        let Some(rec) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        if rec.finished.is_some() {
+            return;
+        }
+        rec.finished = Some(at);
+        let q = rec.query;
+        if q.is_query() {
+            if let Some(qr) = self.queries.get_mut(&q) {
+                qr.done_flows += 1;
+                if qr.done_flows >= qr.expected_flows && qr.finished.is_none() {
+                    qr.finished = Some(at);
+                }
+            }
+        }
+    }
+
+    /// Records a packet drop.
+    pub fn on_drop(&mut self, cause: DropCause, wire_bytes: u32) {
+        self.drops[cause.index()] += 1;
+        self.dropped_bytes += wire_bytes as u64;
+    }
+
+    /// Total drops across causes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn flow_lifecycle() {
+        let mut r = Recorder::new();
+        r.flow_started(FlowId(1), QueryId::NONE, NodeId(0), NodeId(1), 1000, t(10));
+        r.flow_finished(FlowId(1), t(110));
+        let rec = &r.flows[&FlowId(1)];
+        assert_eq!(rec.fct_secs(), Some(100e-6));
+        // Double-finish is idempotent.
+        r.flow_finished(FlowId(1), t(999));
+        assert_eq!(r.flows[&FlowId(1)].finished, Some(t(110)));
+    }
+
+    #[test]
+    fn query_completes_when_all_flows_do() {
+        let mut r = Recorder::new();
+        let q = QueryId(1);
+        r.query_started(q, 3, t(0));
+        for i in 0..3u64 {
+            r.flow_started(FlowId(i), q, NodeId(9), NodeId(0), 500, t(0));
+        }
+        r.flow_finished(FlowId(0), t(50));
+        r.flow_finished(FlowId(1), t(70));
+        assert_eq!(r.queries[&q].finished, None);
+        r.flow_finished(FlowId(2), t(90));
+        assert_eq!(r.queries[&q].finished, Some(t(90)));
+        assert_eq!(r.queries[&q].qct_secs(), Some(90e-6));
+    }
+
+    #[test]
+    fn background_flows_do_not_touch_queries() {
+        let mut r = Recorder::new();
+        r.flow_started(FlowId(1), QueryId::NONE, NodeId(0), NodeId(1), 10, t(0));
+        r.flow_finished(FlowId(1), t(5));
+        assert!(r.queries.is_empty());
+    }
+
+    #[test]
+    fn drop_accounting() {
+        let mut r = Recorder::new();
+        r.on_drop(DropCause::QueueFull, 1500);
+        r.on_drop(DropCause::QueueFull, 1500);
+        r.on_drop(DropCause::TtlExceeded, 64);
+        assert_eq!(r.total_drops(), 3);
+        assert_eq!(r.drops[DropCause::QueueFull.index()], 2);
+        assert_eq!(r.dropped_bytes, 3064);
+    }
+
+    #[test]
+    fn drop_cause_labels_unique() {
+        let causes = [
+            DropCause::QueueFull,
+            DropCause::DeflectionFull,
+            DropCause::TtlExceeded,
+            DropCause::HostQueue,
+        ];
+        let mut idx: Vec<usize> = causes.iter().map(|c| c.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), DROP_CAUSES);
+    }
+}

@@ -1,0 +1,256 @@
+//! Turning raw records into the paper's reported quantities.
+
+use crate::recorder::Recorder;
+use crate::summary::{mean, percentile_sorted, Cdf};
+use vertigo_simcore::SimTime;
+
+/// Flows below this size are "mice" in the paper's §2 analysis.
+pub const MICE_BYTES: u64 = 100 * 1000;
+/// Flows above this size are "elephants" (Fig. 1f).
+pub const ELEPHANT_BYTES: u64 = 10 * 1000 * 1000;
+
+/// Aggregate results of one simulation run — one row of a paper figure.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Simulated horizon in seconds.
+    pub horizon_secs: f64,
+
+    /// Flows started / completed.
+    pub flows_started: u64,
+    /// Flows whose last byte arrived before the horizon.
+    pub flows_completed: u64,
+    /// Mean FCT over completed flows (seconds).
+    pub fct_mean: f64,
+    /// Median FCT (seconds).
+    pub fct_p50: f64,
+    /// 99th-percentile FCT (seconds).
+    pub fct_p99: f64,
+    /// Mean FCT of mice flows (< 100 KB).
+    pub fct_mice_mean: f64,
+    /// 99th-percentile FCT of mice flows.
+    pub fct_mice_p99: f64,
+
+    /// Queries issued / completed.
+    pub queries_started: u64,
+    /// Queries fully answered before the horizon.
+    pub queries_completed: u64,
+    /// Mean QCT over completed queries (seconds).
+    pub qct_mean: f64,
+    /// Median QCT (seconds).
+    pub qct_p50: f64,
+    /// 99th-percentile QCT (seconds).
+    pub qct_p99: f64,
+
+    /// Application goodput over the horizon (Gbps).
+    pub goodput_gbps: f64,
+    /// Goodput of elephant flows (> 10 MB), Mbps (Fig. 1f).
+    pub elephant_goodput_mbps: f64,
+
+    /// Packet drops (all causes).
+    pub drops: u64,
+    /// Drop fraction of transmitted data packets.
+    pub drop_rate: f64,
+    /// Deflection events.
+    pub deflections: u64,
+    /// Mean switch hops per delivered data packet.
+    pub mean_hops: f64,
+    /// Out-of-order arrivals seen by the transport, per delivered packet.
+    pub reorder_rate: f64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// RTO firings.
+    pub rtos: u64,
+    /// ECN marks applied.
+    pub ecn_marks: u64,
+
+    /// Sorted FCT samples (seconds) for CDF plotting.
+    pub fct_samples: Vec<f64>,
+    /// Sorted QCT samples (seconds) for CDF plotting.
+    pub qct_samples: Vec<f64>,
+}
+
+impl Report {
+    /// Builds a report from the recorder at the simulation horizon.
+    pub fn from_recorder(rec: &Recorder, horizon: SimTime) -> Report {
+        let horizon_secs = horizon.as_secs_f64().max(1e-12);
+
+        let mut fct = Vec::new();
+        let mut fct_mice = Vec::new();
+        let mut elephant_bytes: u64 = 0;
+        let mut elephant_active_secs: f64 = 0.0;
+        for f in rec.flows.values() {
+            if let Some(s) = f.fct_secs() {
+                fct.push(s);
+                if f.bytes < MICE_BYTES {
+                    fct_mice.push(s);
+                }
+            }
+            if f.bytes > ELEPHANT_BYTES {
+                // Elephant goodput: unique bytes delivered (finished or
+                // not) over the time the flow was active in the horizon.
+                let end = f.finished.unwrap_or(horizon);
+                let active = end.saturating_since(f.start).as_secs_f64();
+                elephant_bytes += f.delivered_bytes;
+                elephant_active_secs += active.max(1e-9);
+            }
+        }
+        fct.sort_by(|a, b| a.partial_cmp(b).expect("NaN fct"));
+        fct_mice.sort_by(|a, b| a.partial_cmp(b).expect("NaN fct"));
+
+        let mut qct = Vec::new();
+        for q in rec.queries.values() {
+            if let Some(s) = q.qct_secs() {
+                qct.push(s);
+            }
+        }
+        qct.sort_by(|a, b| a.partial_cmp(b).expect("NaN qct"));
+
+        let data_sent = rec.data_sent.max(1);
+        let delivered = rec.data_delivered.max(1);
+
+        Report {
+            horizon_secs,
+            flows_started: rec.flows.len() as u64,
+            flows_completed: fct.len() as u64,
+            fct_mean: mean(&fct),
+            fct_p50: percentile_sorted(&fct, 0.50),
+            fct_p99: percentile_sorted(&fct, 0.99),
+            fct_mice_mean: mean(&fct_mice),
+            fct_mice_p99: percentile_sorted(&fct_mice, 0.99),
+            queries_started: rec.queries.len() as u64,
+            queries_completed: qct.len() as u64,
+            qct_mean: mean(&qct),
+            qct_p50: percentile_sorted(&qct, 0.50),
+            qct_p99: percentile_sorted(&qct, 0.99),
+            goodput_gbps: rec.goodput_bytes as f64 * 8.0 / horizon_secs / 1e9,
+            elephant_goodput_mbps: if elephant_active_secs > 0.0 {
+                elephant_bytes as f64 * 8.0 / elephant_active_secs / 1e6
+            } else {
+                0.0
+            },
+            drops: rec.total_drops(),
+            drop_rate: rec.total_drops() as f64 / data_sent as f64,
+            deflections: rec.deflections,
+            mean_hops: rec.hops_delivered as f64 / delivered as f64,
+            reorder_rate: rec.transport_reorders as f64 / delivered as f64,
+            retransmits: rec.retransmits,
+            rtos: rec.rtos,
+            ecn_marks: rec.ecn_marks,
+            fct_samples: fct,
+            qct_samples: qct,
+        }
+    }
+
+    /// Fraction of started flows that completed (1.0 when none started).
+    pub fn flow_completion_ratio(&self) -> f64 {
+        if self.flows_started == 0 {
+            1.0
+        } else {
+            self.flows_completed as f64 / self.flows_started as f64
+        }
+    }
+
+    /// Fraction of issued queries that completed (1.0 when none issued).
+    pub fn query_completion_ratio(&self) -> f64 {
+        if self.queries_started == 0 {
+            1.0
+        } else {
+            self.queries_completed as f64 / self.queries_started as f64
+        }
+    }
+
+    /// FCT CDF for plotting.
+    pub fn fct_cdf(&self, max_points: usize) -> Cdf {
+        Cdf::from_samples(&self.fct_samples, max_points)
+    }
+
+    /// QCT CDF for plotting.
+    pub fn qct_cdf(&self, max_points: usize) -> Cdf {
+        Cdf::from_samples(&self.qct_samples, max_points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::DropCause;
+    use vertigo_pkt::{FlowId, NodeId, QueryId};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn report_over_mixed_run() {
+        let mut r = Recorder::new();
+        // Two background flows: one completes, one doesn't.
+        r.flow_started(FlowId(1), QueryId::NONE, NodeId(0), NodeId(1), 50_000, t(0));
+        r.flow_started(FlowId(2), QueryId::NONE, NodeId(2), NodeId(3), 50_000, t(0));
+        r.flow_finished(FlowId(1), t(200));
+        // One query with two flows, both complete.
+        r.query_started(QueryId(1), 2, t(100));
+        r.flow_started(FlowId(3), QueryId(1), NodeId(4), NodeId(0), 40_000, t(100));
+        r.flow_started(FlowId(4), QueryId(1), NodeId(5), NodeId(0), 40_000, t(100));
+        r.flow_finished(FlowId(3), t(300));
+        r.flow_finished(FlowId(4), t(400));
+        r.data_sent = 100;
+        r.data_delivered = 90;
+        r.hops_delivered = 360;
+        r.goodput_bytes = 130_000;
+        r.on_drop(DropCause::QueueFull, 1500);
+
+        let rep = Report::from_recorder(&r, SimTime::from_millis(1));
+        assert_eq!(rep.flows_started, 4);
+        assert_eq!(rep.flows_completed, 3);
+        assert!((rep.flow_completion_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(rep.queries_completed, 1);
+        assert!((rep.qct_mean - 300e-6).abs() < 1e-12);
+        assert!((rep.mean_hops - 4.0).abs() < 1e-9);
+        assert!((rep.drop_rate - 0.01).abs() < 1e-9);
+        // goodput = 130 KB * 8 / 1 ms = 1.04 Gbps
+        assert!((rep.goodput_gbps - 1.04).abs() < 1e-6);
+        // All three finished flows are mice.
+        assert_eq!(rep.fct_mice_mean, rep.fct_mean);
+    }
+
+    #[test]
+    fn elephant_goodput() {
+        let mut r = Recorder::new();
+        r.flow_started(
+            FlowId(1),
+            QueryId::NONE,
+            NodeId(0),
+            NodeId(1),
+            20_000_000,
+            t(0),
+        );
+        r.flow_progress(FlowId(1), 20_000_000);
+        r.flow_finished(FlowId(1), SimTime::from_millis(20));
+        let rep = Report::from_recorder(&r, SimTime::from_millis(100));
+        // 20 MB over 20 ms = 8 Gbps = 8000 Mbps.
+        assert!((rep.elephant_goodput_mbps - 8000.0).abs() < 1.0);
+        // A half-delivered elephant still contributes goodput.
+        let mut r2 = Recorder::new();
+        r2.flow_started(
+            FlowId(2),
+            QueryId::NONE,
+            NodeId(0),
+            NodeId(1),
+            100_000_000,
+            t(0),
+        );
+        r2.flow_progress(FlowId(2), 25_000_000);
+        let rep2 = Report::from_recorder(&r2, SimTime::from_millis(100));
+        // 25 MB over the 100 ms horizon = 2 Gbps.
+        assert!((rep2.elephant_goodput_mbps - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = Recorder::new();
+        let rep = Report::from_recorder(&r, SimTime::from_millis(1));
+        assert_eq!(rep.flows_started, 0);
+        assert_eq!(rep.flow_completion_ratio(), 1.0);
+        assert_eq!(rep.qct_mean, 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # vertigo-transport
+//!
+//! Transport protocols for the Vertigo simulator. The paper runs Vertigo
+//! *below* unmodified transports, so this crate provides full sender and
+//! receiver machines ([`FlowSender`], [`FlowReceiver`]) with pluggable
+//! congestion control:
+//!
+//! * [`Reno`] — classic loss-based TCP (the paper's "TCP"),
+//! * [`Dctcp`] — ECN-proportional reduction (the paper's default),
+//! * [`Swift`] — delay-based with sub-packet windows and pacing.
+//!
+//! Loss detection supports both fast retransmit (3 duplicate ACKs,
+//! NewReno partial-ACK repair) and RTO with exponential backoff; DIBS
+//! disables fast retransmit per its paper, which is a config switch here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod dctcp;
+pub mod receiver;
+pub mod reno;
+pub mod rto;
+pub mod sender;
+pub mod swift;
+
+pub use cc::{AckContext, CcKind, CongestionControl};
+pub use dctcp::{Dctcp, DctcpConfig};
+pub use receiver::{FlowReceiver, ReceiverStats};
+pub use reno::{Reno, RenoConfig};
+pub use rto::{RtoConfig, RtoEstimator};
+pub use sender::{AckOutcome, FlowSender, SenderStats, TransportConfig};
+pub use swift::{Swift, SwiftConfig};

@@ -1,0 +1,249 @@
+//! The per-flow receiving machine: cumulative ACK generation.
+//!
+//! [`FlowReceiver`] reassembles the byte stream (tracking out-of-order
+//! arrivals in a range map), acknowledges every data packet immediately
+//! (no delayed ACKs — DCTCP-style per-packet ECN echo needs per-packet
+//! feedback), and reports completion when the stream is contiguous through
+//! the flow's last byte.
+//!
+//! Reordering visible *here* is reordering as seen by the transport — i.e.
+//! after Vertigo's ordering shim, if one is deployed below. The §2 and
+//! §4.3 reordering measurements read this counter.
+
+use std::collections::BTreeMap;
+use vertigo_pkt::{AckSeg, DataSeg, FlowId};
+use vertigo_simcore::SimTime;
+
+/// Receiver-side counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReceiverStats {
+    /// Data packets that arrived with a gap in front of them.
+    pub reorder_events: u64,
+    /// Duplicate data packets (already fully received).
+    pub duplicates: u64,
+    /// Trimmed header-only stubs received (explicit loss notices).
+    pub trim_notices: u64,
+    /// Total data packets processed.
+    pub packets: u64,
+}
+
+/// One flow's receive state.
+#[derive(Debug)]
+pub struct FlowReceiver {
+    /// Flow id (diagnostics).
+    pub flow: FlowId,
+    /// Flow size in bytes, learned from the first data packet.
+    pub size: u64,
+    /// Contiguous prefix received.
+    cum: u64,
+    /// Out-of-order ranges: start → length.
+    ooo: BTreeMap<u64, u32>,
+    complete: bool,
+    stats: ReceiverStats,
+    /// When the first data packet arrived (for FCT-from-first-byte stats).
+    pub first_arrival: Option<SimTime>,
+    /// When the flow completed.
+    pub completed_at: Option<SimTime>,
+}
+
+impl FlowReceiver {
+    /// Creates the receive state for a flow of `size` bytes.
+    pub fn new(flow: FlowId, size: u64) -> Self {
+        FlowReceiver {
+            flow,
+            size,
+            cum: 0,
+            ooo: BTreeMap::new(),
+            complete: false,
+            stats: ReceiverStats::default(),
+            first_arrival: None,
+            completed_at: None,
+        }
+    }
+
+    /// Contiguous bytes received so far.
+    pub fn contiguous(&self) -> u64 {
+        self.cum
+    }
+
+    /// Whether the whole flow has been received.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Receiver counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Processes a data segment and produces the ACK to send back.
+    ///
+    /// * `ce` — whether the packet arrived with ECN CE set (echoed).
+    /// * `sent_at` — the packet's transmit timestamp (echoed for RTT).
+    pub fn on_data(&mut self, now: SimTime, seg: &DataSeg, ce: bool, sent_at: SimTime) -> AckSeg {
+        self.stats.packets += 1;
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(now);
+        }
+        let end = seg.seq + seg.payload as u64;
+        if end <= self.cum {
+            self.stats.duplicates += 1;
+        } else if seg.seq <= self.cum {
+            // Advances the contiguous prefix (possibly partially duplicate).
+            self.cum = end;
+            self.drain_ooo();
+        } else {
+            // A gap precedes this segment.
+            self.stats.reorder_events += 1;
+            self.ooo.entry(seg.seq).or_insert(seg.payload);
+        }
+        if !self.complete && self.cum >= self.size {
+            self.complete = true;
+            self.completed_at = Some(now);
+        }
+        AckSeg {
+            cum_ack: self.cum,
+            ecn_echo: ce,
+            ts_echo: sent_at,
+            reorder_seen: self.stats.reorder_events,
+        }
+    }
+
+    /// Processes a trimmed header stub: the payload was cut off in the
+    /// network, so nothing advances — but the stub still generates an
+    /// immediate (duplicate) ACK, which is the explicit loss signal that
+    /// lets the sender fast-retransmit without waiting for an RTO.
+    pub fn on_trim(&mut self, now: SimTime, ce: bool, sent_at: SimTime) -> AckSeg {
+        self.stats.trim_notices += 1;
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(now);
+        }
+        AckSeg {
+            cum_ack: self.cum,
+            ecn_echo: ce,
+            ts_echo: sent_at,
+            reorder_seen: self.stats.reorder_events,
+        }
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&start, &len)) = self.ooo.first_key_value() {
+            if start > self.cum {
+                break;
+            }
+            self.ooo.remove(&start);
+            self.cum = self.cum.max(start + len as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    fn seg(k: u64, n: u64) -> DataSeg {
+        DataSeg {
+            seq: k * MSS as u64,
+            payload: MSS,
+            flow_bytes: n * MSS as u64,
+            retransmit: false,
+            trimmed: false,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn in_order_stream_acks_cumulatively() {
+        let mut r = FlowReceiver::new(FlowId(1), 3 * MSS as u64);
+        for k in 0..3 {
+            let a = r.on_data(t(k), &seg(k, 3), false, t(0));
+            assert_eq!(a.cum_ack, (k + 1) * MSS as u64);
+        }
+        assert!(r.is_complete());
+        assert_eq!(r.completed_at, Some(t(2)));
+        assert_eq!(r.stats().reorder_events, 0);
+    }
+
+    #[test]
+    fn gap_produces_duplicate_acks() {
+        let mut r = FlowReceiver::new(FlowId(1), 4 * MSS as u64);
+        r.on_data(t(0), &seg(0, 4), false, t(0));
+        // Packet 1 missing; 2 and 3 arrive.
+        let a2 = r.on_data(t(1), &seg(2, 4), false, t(0));
+        let a3 = r.on_data(t(2), &seg(3, 4), false, t(0));
+        assert_eq!(a2.cum_ack, MSS as u64);
+        assert_eq!(a3.cum_ack, MSS as u64);
+        assert_eq!(r.stats().reorder_events, 2);
+        // The hole fills: ACK jumps to the end.
+        let a1 = r.on_data(t(3), &seg(1, 4), false, t(0));
+        assert_eq!(a1.cum_ack, 4 * MSS as u64);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn duplicates_counted_not_fatal() {
+        let mut r = FlowReceiver::new(FlowId(1), 2 * MSS as u64);
+        r.on_data(t(0), &seg(0, 2), false, t(0));
+        r.on_data(t(1), &seg(0, 2), false, t(0));
+        assert_eq!(r.stats().duplicates, 1);
+        r.on_data(t(2), &seg(1, 2), false, t(0));
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn ecn_and_timestamp_echoed() {
+        let mut r = FlowReceiver::new(FlowId(1), MSS as u64);
+        let a = r.on_data(t(9), &seg(0, 1), true, t(5));
+        assert!(a.ecn_echo);
+        assert_eq!(a.ts_echo, t(5));
+    }
+
+    #[test]
+    fn runt_final_segment() {
+        let mut r = FlowReceiver::new(FlowId(1), MSS as u64 + 10);
+        r.on_data(t(0), &seg(0, 1), false, t(0));
+        let runt = DataSeg {
+            seq: MSS as u64,
+            payload: 10,
+            flow_bytes: MSS as u64 + 10,
+            retransmit: false,
+            trimmed: false,
+        };
+        let a = r.on_data(t(1), &runt, false, t(0));
+        assert_eq!(a.cum_ack, MSS as u64 + 10);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn trim_notice_generates_duplicate_ack() {
+        let mut r = FlowReceiver::new(FlowId(1), 3 * MSS as u64);
+        r.on_data(t(0), &seg(0, 3), false, t(0));
+        // Packet 1 was trimmed in the network: the stub arrives.
+        let a = r.on_trim(t(1), false, t(0));
+        assert_eq!(a.cum_ack, MSS as u64, "duplicate ACK at the hole");
+        assert_eq!(r.stats().trim_notices, 1);
+        assert!(!r.is_complete());
+        // The retransmission fills the stream normally afterwards.
+        r.on_data(t(2), &seg(1, 3), false, t(0));
+        r.on_data(t(3), &seg(2, 3), false, t(0));
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn reverse_order_delivery_completes() {
+        let mut r = FlowReceiver::new(FlowId(1), 5 * MSS as u64);
+        for k in (1..5).rev() {
+            r.on_data(t(5 - k), &seg(k, 5), false, t(0));
+        }
+        assert!(!r.is_complete());
+        let a = r.on_data(t(10), &seg(0, 5), false, t(0));
+        assert_eq!(a.cum_ack, 5 * MSS as u64);
+        assert!(r.is_complete());
+        assert_eq!(r.stats().reorder_events, 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! TCP Reno congestion control (slow start, congestion avoidance, fast
+//! recovery halving) — the paper's "TCP" baseline.
+
+use crate::cc::{AckContext, CongestionControl};
+use vertigo_simcore::SimTime;
+
+/// Reno parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RenoConfig {
+    /// Initial window in MSS (paper setting: 10).
+    pub init_cwnd: f64,
+    /// Lower bound on the window.
+    pub min_cwnd: f64,
+    /// Upper bound on the window.
+    pub max_cwnd: f64,
+}
+
+impl Default for RenoConfig {
+    fn default() -> Self {
+        RenoConfig {
+            init_cwnd: 10.0,
+            min_cwnd: 1.0,
+            max_cwnd: 10_000.0,
+        }
+    }
+}
+
+/// Classic Reno state: `cwnd` and `ssthresh`.
+#[derive(Debug)]
+pub struct Reno {
+    cfg: RenoConfig,
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Reno {
+    /// Creates a Reno controller in slow start.
+    pub fn new(cfg: RenoConfig) -> Self {
+        Reno {
+            cwnd: cfg.init_cwnd,
+            ssthresh: f64::INFINITY,
+            cfg,
+        }
+    }
+
+    /// Slow-start threshold (for tests).
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn clamp(&mut self) {
+        self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+    }
+}
+
+impl CongestionControl for Reno {
+    fn on_ack(&mut self, ctx: &AckContext) {
+        if ctx.newly_acked == 0 {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start: +1 MSS per acked MSS.
+            self.cwnd += ctx.newly_acked_pkts;
+        } else {
+            // Congestion avoidance: +1 MSS per window.
+            self.cwnd += ctx.newly_acked_pkts / self.cwnd;
+        }
+        self.clamp();
+    }
+
+    fn on_fast_retransmit(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.clamp();
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.clamp();
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "TCP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertigo_simcore::SimDuration;
+
+    fn ack(pkts: f64) -> AckContext {
+        AckContext {
+            now: SimTime::ZERO,
+            newly_acked: (pkts * 1460.0) as u64,
+            newly_acked_pkts: pkts,
+            rtt: Some(SimDuration::from_micros(100)),
+            ecn_echo: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = Reno::new(RenoConfig {
+            init_cwnd: 2.0,
+            ..Default::default()
+        });
+        // Acking a full window in slow start doubles it.
+        r.on_ack(&ack(2.0));
+        assert_eq!(r.cwnd(), 4.0);
+        r.on_ack(&ack(4.0));
+        assert_eq!(r.cwnd(), 8.0);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut r = Reno::new(RenoConfig::default());
+        r.on_fast_retransmit(SimTime::ZERO); // sets ssthresh = cwnd/2 = 5
+        let w0 = r.cwnd();
+        assert_eq!(w0, 5.0);
+        // One full window of ACKs adds ~1 MSS.
+        let mut acked = 0.0;
+        while acked < w0 {
+            r.on_ack(&ack(1.0));
+            acked += 1.0;
+        }
+        assert!((r.cwnd() - (w0 + 1.0)).abs() < 0.1, "cwnd {}", r.cwnd());
+    }
+
+    #[test]
+    fn rto_collapses_to_one() {
+        let mut r = Reno::new(RenoConfig::default());
+        r.on_rto(SimTime::ZERO);
+        assert_eq!(r.cwnd(), 1.0);
+        assert_eq!(r.ssthresh(), 5.0);
+        // Regrows in slow start afterwards.
+        r.on_ack(&ack(1.0));
+        assert_eq!(r.cwnd(), 2.0);
+    }
+
+    #[test]
+    fn dupacks_do_not_grow_window() {
+        let mut r = Reno::new(RenoConfig::default());
+        let before = r.cwnd();
+        r.on_ack(&AckContext {
+            now: SimTime::ZERO,
+            newly_acked: 0,
+            newly_acked_pkts: 0.0,
+            rtt: None,
+            ecn_echo: false,
+        });
+        assert_eq!(r.cwnd(), before);
+    }
+
+    #[test]
+    fn not_ecn_capable() {
+        let r = Reno::new(RenoConfig::default());
+        assert!(!r.ecn_capable());
+        assert_eq!(r.name(), "TCP");
+    }
+}

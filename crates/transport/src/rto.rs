@@ -1,0 +1,177 @@
+//! Retransmission-timeout estimation (RFC 6298).
+//!
+//! The paper's simulations follow the DCTCP/DIBS parameter settings:
+//! initial RTO 1 s, minimum RTO 10 ms. Those defaults live in
+//! [`RtoConfig`]; experiments override them per run.
+
+use vertigo_simcore::SimDuration;
+
+/// RTO estimator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RtoConfig {
+    /// RTO before any RTT sample exists (paper: 1 s).
+    pub initial: SimDuration,
+    /// Lower clamp (paper: 10 ms).
+    pub min: SimDuration,
+    /// Upper clamp for the backed-off RTO.
+    pub max: SimDuration,
+}
+
+impl Default for RtoConfig {
+    fn default() -> Self {
+        RtoConfig {
+            initial: SimDuration::from_secs(1),
+            min: SimDuration::from_millis(10),
+            max: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// SRTT/RTTVAR smoothing and exponential backoff per RFC 6298.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    cfg: RtoConfig,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    /// Base RTO (before backoff), clamped to `[min, max]`.
+    rto: SimDuration,
+    /// Consecutive-timeout exponent.
+    backoff_exp: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator with no RTT samples yet.
+    pub fn new(cfg: RtoConfig) -> Self {
+        RtoEstimator {
+            cfg,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: cfg.initial,
+            backoff_exp: 0,
+        }
+    }
+
+    /// Smoothed RTT, once at least one sample has arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Incorporates an RTT sample (also clears any backoff — a fresh sample
+    /// means the path is alive again).
+    pub fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - RTT|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3) / 4 + err / 4;
+                // SRTT = 7/8 SRTT + 1/8 RTT
+                self.srtt = Some((srtt * 7) / 8 + rtt / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let candidate = srtt + self.rttvar * 4;
+        self.rto = candidate.max(self.cfg.min).min(self.cfg.max);
+        self.backoff_exp = 0;
+    }
+
+    /// The current RTO, including exponential backoff.
+    pub fn current(&self) -> SimDuration {
+        let backed = self.rto.saturating_mul(1u64 << self.backoff_exp.min(30));
+        backed.max(self.cfg.min).min(self.cfg.max)
+    }
+
+    /// Doubles the RTO after a timeout fires (Karn's algorithm).
+    pub fn backoff(&mut self) {
+        self.backoff_exp = (self.backoff_exp + 1).min(30);
+    }
+
+    /// Number of consecutive backoffs since the last valid sample.
+    pub fn backoff_count(&self) -> u32 {
+        self.backoff_exp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn initial_rto_until_first_sample() {
+        let e = RtoEstimator::new(RtoConfig::default());
+        assert_eq!(e.current(), SimDuration::from_secs(1));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt() {
+        let mut e = RtoEstimator::new(RtoConfig::default());
+        e.on_rtt_sample(us(100));
+        assert_eq!(e.srtt(), Some(us(100)));
+        // RTO = SRTT + 4*RTTVAR = 100 + 4*50 = 300 µs, clamped to min 10 ms.
+        assert_eq!(e.current(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn min_clamp_can_be_lowered() {
+        let mut e = RtoEstimator::new(RtoConfig {
+            min: us(200),
+            ..RtoConfig::default()
+        });
+        e.on_rtt_sample(us(100));
+        assert_eq!(e.current(), us(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RtoEstimator::new(RtoConfig {
+            min: us(1),
+            ..RtoConfig::default()
+        });
+        for _ in 0..100 {
+            e.on_rtt_sample(us(500));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_nanos() as i64 - 500_000).unsigned_abs() < 20_000,
+            "srtt {srtt} should converge to 500µs"
+        );
+        // With zero variance, RTO converges toward SRTT.
+        assert!(e.current() < us(700));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = RtoEstimator::new(RtoConfig {
+            min: us(100),
+            max: SimDuration::from_secs(300),
+            ..RtoConfig::default()
+        });
+        e.on_rtt_sample(us(100));
+        let base = e.current();
+        e.backoff();
+        assert_eq!(e.current(), base * 2);
+        e.backoff();
+        assert_eq!(e.current(), base * 4);
+        assert_eq!(e.backoff_count(), 2);
+        e.on_rtt_sample(us(100));
+        assert_eq!(e.backoff_count(), 0);
+        assert_eq!(e.current(), e.current().max(us(100)));
+    }
+
+    #[test]
+    fn max_clamp_holds_under_heavy_backoff() {
+        let mut e = RtoEstimator::new(RtoConfig::default());
+        for _ in 0..64 {
+            e.backoff();
+        }
+        assert_eq!(e.current(), SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,649 @@
+//! The per-flow sending machine: windowing, loss detection, recovery.
+//!
+//! [`FlowSender`] owns one unidirectional flow. It tracks outstanding
+//! segments, counts duplicate ACKs (fast retransmit after 3, NewReno-style
+//! partial-ACK handling in recovery), runs the RTO timer, and delegates
+//! window sizing to a pluggable [`CongestionControl`]. Pacing for
+//! sub-packet windows (Swift) is enforced here.
+//!
+//! DIBS disables fast retransmit (paper §2); that is the
+//! [`TransportConfig::fast_retransmit`] switch.
+
+use crate::cc::{AckContext, CcKind, CongestionControl};
+use crate::dctcp::{Dctcp, DctcpConfig};
+use crate::reno::{Reno, RenoConfig};
+use crate::rto::{RtoConfig, RtoEstimator};
+use crate::swift::{Swift, SwiftConfig};
+use std::collections::{BTreeMap, BTreeSet};
+use vertigo_pkt::{AckSeg, DataSeg, FlowId, MAX_PAYLOAD};
+use vertigo_simcore::{SimDuration, SimTime};
+
+/// Transport configuration shared by every flow on a host.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// Which congestion controller to instantiate per flow.
+    pub cc: CcKind,
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// RTO estimator parameters.
+    pub rto: RtoConfig,
+    /// Whether 3 duplicate ACKs trigger fast retransmit (DIBS turns this
+    /// off and leans on RTOs, per its paper).
+    pub fast_retransmit: bool,
+    /// Duplicate-ACK threshold for fast retransmit.
+    pub dupack_threshold: u32,
+    /// Reno parameters (used when `cc == Reno`).
+    pub reno: RenoConfig,
+    /// DCTCP parameters (used when `cc == Dctcp`).
+    pub dctcp: DctcpConfig,
+    /// Swift parameters (used when `cc == Swift`).
+    pub swift: SwiftConfig,
+}
+
+impl TransportConfig {
+    /// The paper's default: DCTCP with init cwnd 10, init RTO 1 s,
+    /// min RTO 10 ms, fast retransmit on.
+    pub fn default_for(cc: CcKind) -> Self {
+        TransportConfig {
+            cc,
+            mss: MAX_PAYLOAD,
+            rto: RtoConfig::default(),
+            fast_retransmit: true,
+            dupack_threshold: 3,
+            reno: RenoConfig::default(),
+            dctcp: DctcpConfig::default(),
+            swift: SwiftConfig::default(),
+        }
+    }
+
+    fn make_cc(&self) -> Box<dyn CongestionControl> {
+        match self.cc {
+            CcKind::Reno => Box::new(Reno::new(self.reno)),
+            CcKind::Dctcp => Box::new(Dctcp::new(self.dctcp, self.mss)),
+            CcKind::Swift => Box::new(Swift::new(self.swift)),
+        }
+    }
+}
+
+/// Sender-side counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SenderStats {
+    /// Data segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Fast-retransmit episodes entered.
+    pub fast_retransmits: u64,
+    /// RTO firings.
+    pub rtos: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    len: u32,
+    /// Marked lost (queued for retransmission or already retransmitted).
+    lost: bool,
+    /// Transmissions so far.
+    sends: u32,
+}
+
+/// What `on_ack` tells the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Bytes newly acknowledged.
+    pub newly_acked: u64,
+    /// The flow finished (all bytes acknowledged) with this ACK.
+    pub completed: bool,
+}
+
+/// One flow's sending state machine.
+pub struct FlowSender {
+    /// Flow id (diagnostics).
+    pub flow: FlowId,
+    /// Flow size in bytes.
+    pub size: u64,
+    cfg: TransportConfig,
+    cc: Box<dyn CongestionControl>,
+    rto: RtoEstimator,
+    next_seq: u64,
+    cum_acked: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover_point: u64,
+    outstanding: BTreeMap<u64, Seg>,
+    /// Sequence numbers of segments marked lost (awaiting retransmission).
+    lost: BTreeSet<u64>,
+    /// Bytes in flight (outstanding and not marked lost).
+    flight: u64,
+    rto_deadline: Option<SimTime>,
+    /// Earliest instant the pacer allows the next transmission.
+    pace_next: SimTime,
+    completed: bool,
+    stats: SenderStats,
+}
+
+impl FlowSender {
+    /// Creates a sender for a `size`-byte flow.
+    pub fn new(flow: FlowId, size: u64, cfg: TransportConfig) -> Self {
+        assert!(size > 0, "zero-byte flow");
+        FlowSender {
+            flow,
+            size,
+            cc: cfg.make_cc(),
+            rto: RtoEstimator::new(cfg.rto),
+            cfg,
+            next_seq: 0,
+            cum_acked: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover_point: 0,
+            outstanding: BTreeMap::new(),
+            lost: BTreeSet::new(),
+            flight: 0,
+            rto_deadline: None,
+            pace_next: SimTime::ZERO,
+            completed: false,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Sender counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Whether every byte has been acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    /// Current window in MSS (diagnostics).
+    pub fn cwnd(&self) -> f64 {
+        self.cc.cwnd()
+    }
+
+    /// Bytes currently considered in flight.
+    pub fn flight_bytes(&self) -> u64 {
+        self.flight
+    }
+
+    /// Whether outgoing data packets should be ECN-capable.
+    pub fn ecn_capable(&self) -> bool {
+        self.cc.ecn_capable()
+    }
+
+    /// Smoothed RTT, once measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rto.srtt()
+    }
+
+    /// True while the flow still has data to transmit or retransmit.
+    pub fn has_pending_work(&self) -> bool {
+        !self.completed && (self.next_seq < self.size || !self.lost.is_empty())
+    }
+
+    /// The next instant the host should call [`FlowSender::on_timer`]:
+    /// the RTO deadline, or the pacing release if the pacer is what is
+    /// blocking pending work.
+    pub fn next_deadline(&self, now: SimTime) -> Option<SimTime> {
+        if self.completed {
+            return None;
+        }
+        let mut next = self.rto_deadline;
+        if self.has_pending_work() && self.pace_next > now {
+            next = Some(match next {
+                Some(d) => d.min(self.pace_next),
+                None => self.pace_next,
+            });
+        }
+        next
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        (self.cc.cwnd().max(0.0) * self.cfg.mss as f64) as u64
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rto.current());
+    }
+
+    /// Offers the next transmittable segment, or `None` if the window,
+    /// pacer, or data supply does not allow one. The caller sends the
+    /// returned segment and calls again until `None`.
+    pub fn poll_segment(&mut self, now: SimTime) -> Option<DataSeg> {
+        if self.completed {
+            return None;
+        }
+        if now < self.pace_next {
+            return None;
+        }
+        let sub_packet = self.cc.cwnd() < 1.0;
+        if sub_packet && self.flight > 0 {
+            // Sub-packet window: strictly one packet in flight, paced.
+            return None;
+        }
+
+        // Retransmissions take priority over new data.
+        let rtx_seq = self.lost.first().copied();
+        if let Some(seq) = rtx_seq {
+            let cwnd_bytes = self.cwnd_bytes();
+            let head = self.cum_acked;
+            let seg = self.outstanding.get_mut(&seq).expect("present");
+            // The head-of-line hole may always be retransmitted regardless
+            // of the window (classic fast-retransmit/RTO behavior); other
+            // holes wait for window space.
+            if seq == head || self.flight + seg.len as u64 <= cwnd_bytes.max(seg.len as u64) {
+                seg.lost = false;
+                self.lost.remove(&seq);
+                seg.sends += 1;
+                self.flight += seg.len as u64;
+                self.stats.segments_sent += 1;
+                self.stats.retransmits += 1;
+                let out = DataSeg {
+                    seq,
+                    payload: seg.len,
+                    flow_bytes: self.size,
+                    retransmit: true,
+            trimmed: false,
+                };
+                self.after_send(now);
+                return Some(out);
+            }
+            return None;
+        }
+
+        // New data.
+        if self.next_seq >= self.size {
+            return None;
+        }
+        // During recovery, hold new data until the hole is repaired
+        // (conservative NewReno without window inflation).
+        if self.in_recovery {
+            return None;
+        }
+        let len = (self.size - self.next_seq).min(self.cfg.mss as u64) as u32;
+        let allowed = if sub_packet {
+            self.flight == 0
+        } else {
+            self.flight + len as u64 <= self.cwnd_bytes()
+        };
+        if !allowed {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += len as u64;
+        self.outstanding.insert(
+            seq,
+            Seg {
+                len,
+                lost: false,
+                sends: 1,
+            },
+        );
+        self.flight += len as u64;
+        self.stats.segments_sent += 1;
+        let out = DataSeg {
+            seq,
+            payload: len,
+            flow_bytes: self.size,
+            retransmit: false,
+            trimmed: false,
+        };
+        self.after_send(now);
+        Some(out)
+    }
+
+    fn after_send(&mut self, now: SimTime) {
+        if self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+        if let Some(gap) = self.cc.pacing_interval(self.rto.srtt()) {
+            self.pace_next = now + gap;
+        }
+    }
+
+    fn mark_lost(&mut self, seq: u64) {
+        if let Some(seg) = self.outstanding.get_mut(&seq) {
+            if !seg.lost {
+                seg.lost = true;
+                self.lost.insert(seq);
+                self.flight = self.flight.saturating_sub(seg.len as u64);
+            }
+        }
+    }
+
+    /// Processes one cumulative ACK.
+    pub fn on_ack(&mut self, now: SimTime, ack: &AckSeg) -> AckOutcome {
+        if self.completed {
+            return AckOutcome {
+                newly_acked: 0,
+                completed: false,
+            };
+        }
+        // Timestamp echo gives an unambiguous RTT even for retransmissions.
+        let rtt = now.saturating_since(ack.ts_echo);
+        if rtt > SimDuration::ZERO {
+            self.rto.on_rtt_sample(rtt);
+        }
+
+        let newly = ack.cum_ack.saturating_sub(self.cum_acked);
+        if newly > 0 {
+            self.cum_acked = ack.cum_ack;
+            self.dup_acks = 0;
+            // Retire fully acknowledged segments.
+            let acked: Vec<u64> = self
+                .outstanding
+                .range(..self.cum_acked)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in acked {
+                let seg = self.outstanding.remove(&s).expect("present");
+                if seg.lost {
+                    self.lost.remove(&s);
+                } else {
+                    self.flight = self.flight.saturating_sub(seg.len as u64);
+                }
+            }
+            if self.in_recovery {
+                if self.cum_acked >= self.recover_point {
+                    self.in_recovery = false;
+                } else {
+                    // NewReno partial ACK: the next hole is also lost.
+                    self.mark_lost(self.cum_acked);
+                }
+            }
+            self.cc.on_ack(&AckContext {
+                now,
+                newly_acked: newly,
+                newly_acked_pkts: newly as f64 / self.cfg.mss as f64,
+                rtt: Some(rtt),
+                ecn_echo: ack.ecn_echo,
+            });
+            // Restart (or stop) the retransmission timer.
+            if self.outstanding.is_empty() && self.cum_acked >= self.size {
+                self.completed = true;
+                self.rto_deadline = None;
+                return AckOutcome {
+                    newly_acked: newly,
+                    completed: true,
+                };
+            }
+            if self.outstanding.is_empty() && !self.has_pending_work() {
+                self.rto_deadline = None;
+            } else {
+                self.arm_rto(now);
+            }
+            AckOutcome {
+                newly_acked: newly,
+                completed: false,
+            }
+        } else {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            self.cc.on_ack(&AckContext {
+                now,
+                newly_acked: 0,
+                newly_acked_pkts: 0.0,
+                rtt: Some(rtt),
+                ecn_echo: ack.ecn_echo,
+            });
+            if self.cfg.fast_retransmit
+                && !self.in_recovery
+                && self.dup_acks >= self.cfg.dupack_threshold
+                && self.outstanding.contains_key(&self.cum_acked)
+            {
+                self.in_recovery = true;
+                self.recover_point = self.next_seq;
+                self.stats.fast_retransmits += 1;
+                self.mark_lost(self.cum_acked);
+                self.cc.on_fast_retransmit(now);
+            }
+            AckOutcome {
+                newly_acked: 0,
+                completed: false,
+            }
+        }
+    }
+
+    /// Timer callback: fires the RTO if due (pacing wakeups need no state
+    /// change — the caller just polls for segments again).
+    pub fn on_timer(&mut self, now: SimTime) {
+        if self.completed {
+            return;
+        }
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
+        if now < deadline {
+            return;
+        }
+        // RTO: collapse the window, mark everything outstanding lost, and
+        // back off the timer.
+        self.stats.rtos += 1;
+        self.cc.on_rto(now);
+        self.rto.backoff();
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        let seqs: Vec<u64> = self.outstanding.keys().copied().collect();
+        for s in seqs {
+            self.mark_lost(s);
+        }
+        self.arm_rto(now);
+    }
+}
+
+impl std::fmt::Debug for FlowSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowSender")
+            .field("flow", &self.flow)
+            .field("size", &self.size)
+            .field("cum_acked", &self.cum_acked)
+            .field("cwnd", &self.cc.cwnd())
+            .field("flight", &self.flight)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = MAX_PAYLOAD as u64;
+
+    fn cfg() -> TransportConfig {
+        let mut c = TransportConfig::default_for(CcKind::Reno);
+        // Tight RTO bounds make timer tests fast.
+        c.rto = RtoConfig {
+            initial: SimDuration::from_millis(1),
+            min: SimDuration::from_micros(500),
+            max: SimDuration::from_secs(1),
+        };
+        c
+    }
+
+    fn ack(cum: u64, ts: SimTime) -> AckSeg {
+        AckSeg {
+            cum_ack: cum,
+            ecn_echo: false,
+            ts_echo: ts,
+            reorder_seen: 0,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn sends_initial_window_then_stalls() {
+        let mut s = FlowSender::new(FlowId(1), 100 * MSS, cfg());
+        let mut sent = 0;
+        while let Some(seg) = s.poll_segment(t(0)) {
+            assert_eq!(seg.payload as u64, MSS);
+            sent += 1;
+        }
+        assert_eq!(sent, 10, "initial cwnd is 10 MSS");
+        assert_eq!(s.flight_bytes(), 10 * MSS);
+        assert!(s.next_deadline(t(0)).is_some(), "RTO armed");
+    }
+
+    #[test]
+    fn acks_open_the_window() {
+        let mut s = FlowSender::new(FlowId(1), 100 * MSS, cfg());
+        while s.poll_segment(t(0)).is_some() {}
+        let o = s.on_ack(t(100), &ack(MSS, t(0)));
+        assert_eq!(o.newly_acked, MSS);
+        // Slow start: one ACK frees one slot and grows cwnd by 1 → 2 sends.
+        let mut sent = 0;
+        while s.poll_segment(t(100)).is_some() {
+            sent += 1;
+        }
+        assert_eq!(sent, 2);
+    }
+
+    #[test]
+    fn completes_when_all_acked() {
+        let mut s = FlowSender::new(FlowId(1), 3 * MSS, cfg());
+        let mut now = t(0);
+        let mut acked = 0;
+        while !s.is_complete() {
+            while let Some(seg) = s.poll_segment(now) {
+                assert!(!seg.retransmit);
+                let _ = seg;
+            }
+            acked += MSS;
+            let o = s.on_ack(now + SimDuration::from_micros(50), &ack(acked, now));
+            now = now + SimDuration::from_micros(100);
+            if acked == 3 * MSS {
+                assert!(o.completed);
+            }
+        }
+        assert!(s.is_complete());
+        assert_eq!(s.next_deadline(now), None);
+        assert_eq!(s.stats().segments_sent, 3);
+        assert_eq!(s.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn last_segment_is_runt() {
+        let mut s = FlowSender::new(FlowId(1), MSS + 100, cfg());
+        let a = s.poll_segment(t(0)).unwrap();
+        let b = s.poll_segment(t(0)).unwrap();
+        assert_eq!(a.payload as u64, MSS);
+        assert_eq!(b.payload, 100);
+        assert_eq!(b.seq, MSS);
+        assert!(s.poll_segment(t(0)).is_none());
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut s = FlowSender::new(FlowId(1), 100 * MSS, cfg());
+        while s.poll_segment(t(0)).is_some() {}
+        let w0 = s.cwnd();
+        // Packet 0 lost: ACKs for packets 1..4 all carry cum_ack = 0.
+        for i in 0..3 {
+            s.on_ack(t(100 + i), &ack(0, t(0)));
+        }
+        assert_eq!(s.stats().fast_retransmits, 1);
+        assert!(s.cwnd() < w0, "window halved");
+        // The retransmission of seq 0 is offered next.
+        let seg = s.poll_segment(t(200)).unwrap();
+        assert_eq!(seg.seq, 0);
+        assert!(seg.retransmit);
+        assert_eq!(s.stats().retransmits, 1);
+        // Full ACK after repair exits recovery and resumes new data.
+        s.on_ack(t(300), &ack(10 * MSS, t(200)));
+        let seg = s.poll_segment(t(300)).unwrap();
+        assert!(!seg.retransmit);
+        assert_eq!(seg.seq, 10 * MSS);
+    }
+
+    #[test]
+    fn fast_retransmit_disabled_for_dibs() {
+        let mut c = cfg();
+        c.fast_retransmit = false;
+        let mut s = FlowSender::new(FlowId(1), 100 * MSS, c);
+        while s.poll_segment(t(0)).is_some() {}
+        for i in 0..10 {
+            s.on_ack(t(100 + i), &ack(0, t(0)));
+        }
+        assert_eq!(s.stats().fast_retransmits, 0);
+        assert!(s.poll_segment(t(200)).is_none(), "no rtx before RTO");
+    }
+
+    #[test]
+    fn rto_marks_everything_lost_and_backs_off() {
+        let mut s = FlowSender::new(FlowId(1), 20 * MSS, cfg());
+        while s.poll_segment(t(0)).is_some() {}
+        let dl = s.next_deadline(t(0)).unwrap();
+        s.on_timer(dl);
+        assert_eq!(s.stats().rtos, 1);
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(s.flight_bytes(), 0);
+        // Head segment is retransmitted first.
+        let seg = s.poll_segment(dl).unwrap();
+        assert_eq!(seg.seq, 0);
+        assert!(seg.retransmit);
+        // Window of 1 blocks the rest.
+        assert!(s.poll_segment(dl).is_none());
+        // Second RTO doubles the deadline distance.
+        let dl2 = s.next_deadline(dl).unwrap();
+        s.on_timer(dl2);
+        let dl3 = s.next_deadline(dl2).unwrap();
+        assert!(dl3 - dl2 >= dl2 - dl, "exponential backoff");
+    }
+
+    #[test]
+    fn newreno_partial_ack_repairs_next_hole() {
+        let mut s = FlowSender::new(FlowId(1), 100 * MSS, cfg());
+        while s.poll_segment(t(0)).is_some() {}
+        // Packets 0 and 1 lost; dupacks arrive.
+        for i in 0..3 {
+            s.on_ack(t(100 + i), &ack(0, t(0)));
+        }
+        let seg = s.poll_segment(t(200)).unwrap();
+        assert_eq!(seg.seq, 0);
+        // Partial ACK: only packet 0 repaired, cum advances to MSS.
+        s.on_ack(t(300), &ack(MSS, t(200)));
+        let seg = s.poll_segment(t(300)).unwrap();
+        assert_eq!(seg.seq, MSS, "hole at MSS retransmitted on partial ACK");
+        assert!(seg.retransmit);
+    }
+
+    #[test]
+    fn swift_sub_packet_window_paces() {
+        let mut c = TransportConfig::default_for(CcKind::Swift);
+        c.swift.init_cwnd = 0.5;
+        c.swift.ai = 0.0; // freeze the window to isolate pacing behavior
+        let mut s = FlowSender::new(FlowId(1), 10 * MSS, c);
+        let seg = s.poll_segment(t(0)).expect("first packet allowed");
+        assert_eq!(seg.seq, 0);
+        assert!(
+            s.poll_segment(t(0)).is_none(),
+            "only one packet in flight at cwnd<1"
+        );
+        s.on_ack(t(100), &ack(MSS, t(0)));
+        assert!(s.cwnd() < 1.0);
+        // The first post-RTT send goes out, then arms the pacer for
+        // rtt/cwnd = 100/0.5 = 200 µs.
+        assert!(s.poll_segment(t(101)).is_some());
+        assert!(s.poll_segment(t(102)).is_none(), "in-flight packet blocks");
+        s.on_ack(t(150), &ack(2 * MSS, t(101)));
+        assert!(
+            s.poll_segment(t(150)).is_none(),
+            "pacer must hold until ~t(301)"
+        );
+        let deadline = s.next_deadline(t(150)).expect("pacing deadline");
+        assert!(deadline >= t(250), "pace gap too short: {deadline:?}");
+        assert!(s.poll_segment(deadline).is_some());
+    }
+
+    #[test]
+    fn rtt_samples_update_srtt() {
+        let mut s = FlowSender::new(FlowId(1), 10 * MSS, cfg());
+        while s.poll_segment(t(0)).is_some() {}
+        s.on_ack(t(150), &ack(MSS, t(0)));
+        assert_eq!(s.srtt(), Some(SimDuration::from_micros(150)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Empirical flow-size distributions.
+//!
+//! The paper's background traffic samples three published datacenter
+//! workloads (§4.1): Facebook's *cache follower* and *data mining* racks
+//! (Roy et al., SIGCOMM'15) and Google's *web search* (the DCTCP paper).
+//! The original traces are not public; these CDF breakpoints are the
+//! widely circulated approximations used by the pFabric/Homa/DCTCP lineage
+//! of papers, preserving the properties the Vertigo evaluation leans on:
+//!
+//! * **cache follower** — mice-dominated: ~50 % of flows under 24 KB
+//!   (quoted directly in the Vertigo paper §4.2);
+//! * **web search** — a broad mix whose *bytes* come mostly from
+//!   multi-megabyte flows;
+//! * **data mining** — extremely heavy-tailed: half the flows are a few
+//!   hundred bytes while a small fraction are ≥ 100 MB elephants.
+//!
+//! Sampling uses inverse-transform with log-linear interpolation between
+//! breakpoints (flow sizes span six orders of magnitude, so linear
+//! interpolation would skew segment means).
+
+use vertigo_simcore::SimRng;
+
+/// An empirical CDF over flow sizes in bytes.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    /// `(size_bytes, cumulative_probability)`, strictly ascending in both
+    /// coordinates, ending at probability 1.0.
+    points: &'static [(f64, f64)],
+    name: &'static str,
+}
+
+/// Google web search (DCTCP, SIGCOMM'10).
+pub const WEB_SEARCH: EmpiricalCdf = EmpiricalCdf {
+    name: "web-search",
+    points: &[
+        (6_000.0, 0.15),
+        (13_000.0, 0.20),
+        (19_000.0, 0.30),
+        (33_000.0, 0.40),
+        (53_000.0, 0.53),
+        (133_000.0, 0.60),
+        (667_000.0, 0.70),
+        (1_333_000.0, 0.80),
+        (3_333_000.0, 0.90),
+        (6_667_000.0, 0.97),
+        (20_000_000.0, 1.00),
+    ],
+};
+
+/// Facebook cache follower (Roy et al., SIGCOMM'15): mice-dominated.
+pub const CACHE_FOLLOWER: EmpiricalCdf = EmpiricalCdf {
+    name: "cache-follower",
+    points: &[
+        (1_000.0, 0.25),
+        (2_000.0, 0.35),
+        (10_000.0, 0.45),
+        (24_000.0, 0.50),
+        (100_000.0, 0.65),
+        (256_000.0, 0.80),
+        (512_000.0, 0.90),
+        (1_000_000.0, 0.96),
+        (10_000_000.0, 1.00),
+    ],
+};
+
+/// Facebook data mining / Hadoop (heavy elephants).
+pub const DATA_MINING: EmpiricalCdf = EmpiricalCdf {
+    name: "data-mining",
+    points: &[
+        (100.0, 0.50),
+        (300.0, 0.60),
+        (1_000.0, 0.70),
+        (3_000.0, 0.80),
+        (10_000.0, 0.85),
+        (100_000.0, 0.90),
+        (1_000_000.0, 0.95),
+        (10_000_000.0, 0.98),
+        (100_000_000.0, 1.00),
+    ],
+};
+
+/// Which background distribution an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// Facebook cache follower (the paper's default background).
+    CacheFollower,
+    /// Facebook data mining.
+    DataMining,
+    /// Google web search.
+    WebSearch,
+}
+
+impl DistKind {
+    /// The CDF table for this distribution.
+    pub fn cdf(self) -> &'static EmpiricalCdf {
+        match self {
+            DistKind::CacheFollower => &CACHE_FOLLOWER,
+            DistKind::DataMining => &DATA_MINING,
+            DistKind::WebSearch => &WEB_SEARCH,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        self.cdf().name
+    }
+}
+
+impl EmpiricalCdf {
+    /// The distribution's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Draws one flow size in bytes (≥ 64).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.uniform();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u` (log-linear interpolation).
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let pts = self.points;
+        let mut prev = (64.0_f64, 0.0_f64);
+        for &(size, p) in pts {
+            if u <= p {
+                let frac = if p > prev.1 {
+                    (u - prev.1) / (p - prev.1)
+                } else {
+                    1.0
+                };
+                let ln = prev.0.ln() + frac * (size.ln() - prev.0.ln());
+                return (ln.exp().round() as u64).max(64);
+            }
+            prev = (size, p);
+        }
+        pts.last().expect("nonempty cdf").0 as u64
+    }
+
+    /// The distribution's mean in bytes (integral of the quantile function,
+    /// evaluated segment-by-segment on the log-linear interpolant).
+    pub fn mean_bytes(&self) -> f64 {
+        let mut mean = 0.0;
+        let mut prev = (64.0_f64, 0.0_f64);
+        for &(size, p) in self.points {
+            let dp = p - prev.1;
+            if dp > 0.0 {
+                // Mean of a log-linear segment: integrate exp(lerp(ln a, ln b)).
+                let (a, b) = (prev.0, size);
+                let seg_mean = if (a - b).abs() < 1e-9 {
+                    a
+                } else {
+                    (b - a) / (b.ln() - a.ln())
+                };
+                mean += seg_mean * dp;
+            }
+            prev = (size, p);
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_valid_cdfs() {
+        for d in [&WEB_SEARCH, &CACHE_FOLLOWER, &DATA_MINING] {
+            let pts = d.points;
+            assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9, "{}", d.name);
+            for w in pts.windows(2) {
+                assert!(w[0].0 < w[1].0, "{} sizes must ascend", d.name);
+                assert!(w[0].1 < w[1].1, "{} probs must ascend", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_follower_is_mice_dominated() {
+        // The Vertigo paper: "50 % of the flows sending less than 24 KB".
+        assert_eq!(CACHE_FOLLOWER.quantile(0.5), 24_000);
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        for d in [&WEB_SEARCH, &CACHE_FOLLOWER, &DATA_MINING] {
+            let mut prev = 0;
+            for i in 0..=100 {
+                let q = d.quantile(i as f64 / 100.0);
+                assert!(q >= prev, "{} not monotone at {}", d.name, i);
+                prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let mut rng = SimRng::new(7);
+        for d in [&WEB_SEARCH, &CACHE_FOLLOWER] {
+            let n = 200_000;
+            let total: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+            let emp = total / n as f64;
+            let ana = d.mean_bytes();
+            assert!(
+                (emp - ana).abs() / ana < 0.05,
+                "{}: empirical {emp:.0} vs analytic {ana:.0}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn data_mining_has_elephants_and_mice() {
+        assert!(DATA_MINING.quantile(0.4) <= 100);
+        assert!(DATA_MINING.quantile(0.999) >= 10_000_000);
+        // Most *bytes* come from elephants: analytic mean far above median.
+        assert!(DATA_MINING.mean_bytes() > 1_000.0 * DATA_MINING.quantile(0.5) as f64);
+    }
+
+    #[test]
+    fn samples_never_below_floor() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..10_000 {
+            assert!(DATA_MINING.sample(&mut rng) >= 64);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # vertigo-workload
+//!
+//! Workload generation for the Vertigo evaluation: the empirical flow-size
+//! distributions the paper samples ([`dists`]), Poisson background load
+//! and the incast application ([`traffic`]), and the one-stop experiment
+//! runner ([`RunSpec`]) that maps a (system, transport, topology,
+//! workload) tuple to a finished [`vertigo_stats::Report`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dists;
+pub mod runner;
+pub mod traffic;
+
+pub use dists::{DistKind, EmpiricalCdf, CACHE_FOLLOWER, DATA_MINING, WEB_SEARCH};
+pub use runner::{RunOutput, RunSpec, SystemKind, TopoKind, VertigoTuning};
+pub use traffic::{install_background, install_incast, BackgroundSpec, IncastSpec, WorkloadSpec};

@@ -1,0 +1,378 @@
+//! The high-level experiment runner: one [`RunSpec`] describes everything
+//! about a run — system (ECMP / DRILL / DIBS / Vertigo), transport,
+//! topology, workload, horizon, seed, and Vertigo's tuning knobs — and
+//! [`RunSpec::run`] executes it and returns the paper's metrics.
+//!
+//! This is the single entry point used by the `experiments` binary, the
+//! integration tests, and the examples, so every figure in EXPERIMENTS.md
+//! is reproducible from a `RunSpec` literal.
+
+use crate::traffic::WorkloadSpec;
+use vertigo_core::{MarkingConfig, MarkingDiscipline, OrderingConfig, OrderingMode};
+use vertigo_netsim::{
+    BufferPolicy, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig, TopologySpec,
+};
+use vertigo_simcore::SimDuration;
+use vertigo_stats::Report;
+use vertigo_transport::{CcKind, TransportConfig};
+
+/// The four systems the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// ECMP flow hashing + tail drop.
+    Ecmp,
+    /// DRILL micro load balancing + tail drop.
+    Drill,
+    /// DIBS random deflection (fast retransmit disabled, per its paper).
+    Dibs,
+    /// Vertigo selective deflection + host marking/ordering.
+    Vertigo,
+    /// NDP-style packet trimming (extension; not part of the paper's
+    /// comparison set, so excluded from [`SystemKind::all`]).
+    NdpTrim,
+}
+
+impl SystemKind {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Ecmp => "ECMP",
+            SystemKind::Drill => "DRILL",
+            SystemKind::Dibs => "DIBS",
+            SystemKind::Vertigo => "Vertigo",
+            SystemKind::NdpTrim => "NDP-Trim",
+        }
+    }
+
+    /// All four, in the paper's usual legend order.
+    pub fn all() -> [SystemKind; 4] {
+        [
+            SystemKind::Ecmp,
+            SystemKind::Drill,
+            SystemKind::Dibs,
+            SystemKind::Vertigo,
+        ]
+    }
+}
+
+/// Vertigo's design knobs (paper §4.3 ablations and Fig. 12 powers).
+#[derive(Debug, Clone, Copy)]
+pub struct VertigoTuning {
+    /// Forwarding power-of-n (`1FW` / `2FW`).
+    pub fw_power: usize,
+    /// Deflection power-of-n (`1DEF` / `2DEF`).
+    pub defl_power: usize,
+    /// SRPT scheduling in switch queues (off = "No Scheduling").
+    pub scheduling: bool,
+    /// Deflection itself (off = "No Deflection": SRPT drop instead).
+    pub deflection: bool,
+    /// RX-path re-sequencing (off = "No Ordering").
+    pub ordering: bool,
+    /// Retransmission boosting factor (None = "No Boosting").
+    pub boost_factor: Option<u32>,
+    /// SRPT (flow sizes known) or LAS (flow aging, §4.3).
+    pub discipline: MarkingDiscipline,
+    /// Ordering timeout τ (paper default 360 µs).
+    pub tau: SimDuration,
+}
+
+impl Default for VertigoTuning {
+    fn default() -> Self {
+        VertigoTuning {
+            fw_power: 2,
+            defl_power: 2,
+            scheduling: true,
+            deflection: true,
+            ordering: true,
+            boost_factor: Some(2),
+            discipline: MarkingDiscipline::Srpt,
+            tau: SimDuration::from_micros(360),
+        }
+    }
+}
+
+/// Topology selector for runs.
+#[derive(Debug, Clone, Copy)]
+pub enum TopoKind {
+    /// 4 spines × 8 leaves leaf-spine with this many hosts per leaf
+    /// (paper scale: 40 → 320 hosts).
+    LeafSpine {
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+    },
+    /// k-ary fat-tree (paper: k = 8).
+    FatTree {
+        /// Arity.
+        k: usize,
+    },
+}
+
+/// Everything about one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// In-network system under test.
+    pub system: SystemKind,
+    /// Congestion control at the hosts.
+    pub cc: CcKind,
+    /// Network.
+    pub topo: TopoKind,
+    /// Offered traffic.
+    pub workload: WorkloadSpec,
+    /// Simulated duration.
+    pub horizon: SimDuration,
+    /// Seed (identical seeds → identical offered traffic AND identical
+    /// results).
+    pub seed: u64,
+    /// Vertigo knobs (ignored for the other systems).
+    pub vertigo: VertigoTuning,
+    /// Per-port switch buffer in bytes (paper: 300 KB).
+    pub port_buffer_bytes: u64,
+}
+
+/// What a run produced.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The paper's metrics.
+    pub report: Report,
+    /// Host ordering-shim counters (zeros when not deployed).
+    pub ordering: vertigo_core::OrderingStats,
+    /// Host marking counters (zeros when not deployed).
+    pub marking: vertigo_core::MarkingStats,
+    /// Largest single-port queue observed.
+    pub max_port_bytes: u64,
+    /// The workload's offered load fraction on this topology.
+    pub offered_load: f64,
+}
+
+impl RunSpec {
+    /// A run with paper-default knobs on a scaled leaf-spine (8 hosts per
+    /// leaf = 64 hosts) and a 50 ms horizon.
+    pub fn new(system: SystemKind, cc: CcKind, workload: WorkloadSpec) -> Self {
+        RunSpec {
+            system,
+            cc,
+            topo: TopoKind::LeafSpine { hosts_per_leaf: 8 },
+            workload,
+            horizon: SimDuration::from_millis(50),
+            seed: 1,
+            vertigo: VertigoTuning::default(),
+            port_buffer_bytes: 300 * 1000,
+        }
+    }
+
+    fn topology_spec(&self) -> TopologySpec {
+        match self.topo {
+            TopoKind::LeafSpine { hosts_per_leaf } => {
+                TopologySpec::paper_leaf_spine(hosts_per_leaf)
+            }
+            TopoKind::FatTree { k } => TopologySpec::FatTree {
+                k,
+                link: vertigo_netsim::LinkParams::gbps(10, 500),
+            },
+        }
+    }
+
+    /// The switch configuration this spec maps to.
+    pub fn switch_config(&self) -> SwitchConfig {
+        let boost_shift = self
+            .vertigo
+            .boost_factor
+            .map(vertigo_core::boost::factor_to_shift)
+            .unwrap_or(0);
+        let mut sw = match self.system {
+            SystemKind::Ecmp => SwitchConfig::ecmp(),
+            SystemKind::Drill => SwitchConfig::drill(),
+            SystemKind::Dibs => SwitchConfig::dibs(),
+            SystemKind::NdpTrim => SwitchConfig::ndp_trim(),
+            SystemKind::Vertigo => SwitchConfig {
+                forward: ForwardPolicy::PowerOfN {
+                    n: self.vertigo.fw_power,
+                },
+                buffer: BufferPolicy::Vertigo {
+                    deflect_power: self.vertigo.defl_power,
+                    scheduling: self.vertigo.scheduling,
+                    deflection: self.vertigo.deflection,
+                },
+                boost_shift,
+                ..SwitchConfig::ecmp()
+            },
+        };
+        sw.port_buffer_bytes = self.port_buffer_bytes;
+        sw
+    }
+
+    /// The host configuration this spec maps to.
+    pub fn host_config(&self) -> HostConfig {
+        let mut transport = TransportConfig::default_for(self.cc);
+        if self.system == SystemKind::Dibs {
+            transport.fast_retransmit = false;
+        }
+        match self.system {
+            SystemKind::Vertigo => {
+                let shift = self
+                    .vertigo
+                    .boost_factor
+                    .map(vertigo_core::boost::factor_to_shift)
+                    .unwrap_or(0);
+                let mode = match self.vertigo.discipline {
+                    MarkingDiscipline::Srpt => OrderingMode::SrptBytes,
+                    MarkingDiscipline::Las => OrderingMode::LasPackets,
+                };
+                HostConfig {
+                    transport,
+                    marking: Some(MarkingConfig {
+                        discipline: self.vertigo.discipline,
+                        boost_factor: self.vertigo.boost_factor,
+                        filter_capacity: 65_536,
+                    }),
+                    ordering: if self.vertigo.ordering {
+                        Some(OrderingConfig {
+                            timeout: self.vertigo.tau,
+                            boost_shift: shift,
+                            mode,
+                            max_buffered_per_flow: 1024,
+                        })
+                    } else {
+                        None
+                    },
+                    nic_buffer_bytes: 2 * 1024 * 1024,
+                }
+            }
+            _ => HostConfig::plain(transport),
+        }
+    }
+
+    /// Builds the simulation with the workload installed (not yet run).
+    pub fn build(&self) -> Simulation {
+        let cfg = SimConfig {
+            topology: self.topology_spec(),
+            switch: self.switch_config(),
+            host: self.host_config(),
+            horizon: self.horizon,
+            seed: self.seed,
+        };
+        let mut sim = Simulation::new(&cfg);
+        self.workload.install(&mut sim);
+        sim
+    }
+
+    /// Runs to the horizon and collects everything.
+    pub fn run(&self) -> RunOutput {
+        let mut sim = self.build();
+        let offered = self
+            .workload
+            .offered_load(sim.topology().total_host_bw_bps());
+        let report = sim.run();
+        RunOutput {
+            report,
+            ordering: sim.ordering_stats(),
+            marking: sim.marking_stats(),
+            max_port_bytes: sim.max_port_bytes(),
+            offered_load: offered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dists::DistKind;
+    use crate::traffic::{BackgroundSpec, IncastSpec};
+
+    fn quick_workload() -> WorkloadSpec {
+        WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.15,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(IncastSpec {
+                qps: 300.0,
+                scale: 8,
+                flow_bytes: 20_000,
+            }),
+        }
+    }
+
+    #[test]
+    fn all_systems_run_and_complete_work() {
+        for system in SystemKind::all() {
+            let mut spec = RunSpec::new(system, CcKind::Dctcp, quick_workload());
+            spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+            spec.horizon = SimDuration::from_millis(20);
+            let out = spec.run();
+            assert!(
+                out.report.flows_completed > 0,
+                "{}: nothing completed",
+                system.name()
+            );
+            assert!(
+                out.report.query_completion_ratio() > 0.5,
+                "{}: too few queries done",
+                system.name()
+            );
+        }
+    }
+
+    #[test]
+    fn vertigo_deploys_host_components_others_do_not() {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(10);
+        let out = spec.run();
+        assert!(out.marking.marked > 0, "Vertigo must tag packets");
+
+        let mut spec = RunSpec::new(SystemKind::Ecmp, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(10);
+        let out = spec.run();
+        assert_eq!(out.marking.marked, 0, "ECMP hosts must not tag");
+    }
+
+    #[test]
+    fn paired_runs_share_offered_traffic() {
+        // Same seed, different systems: identical flow sets.
+        let flows_of = |system| {
+            let mut spec = RunSpec::new(system, CcKind::Dctcp, quick_workload());
+            spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+            spec.horizon = SimDuration::from_millis(10);
+            let sim = {
+                let mut s = spec.build();
+                let _ = s.run();
+                s
+            };
+            sim.recorder()
+                .flows
+                .values()
+                .map(|f| (f.src, f.dst, f.bytes, f.start))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flows_of(SystemKind::Ecmp), flows_of(SystemKind::Vertigo));
+    }
+
+    #[test]
+    fn tuning_maps_to_switch_config() {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.vertigo.fw_power = 1;
+        spec.vertigo.defl_power = 1;
+        spec.vertigo.scheduling = false;
+        let sw = spec.switch_config();
+        assert_eq!(sw.forward, ForwardPolicy::PowerOfN { n: 1 });
+        assert_eq!(
+            sw.buffer,
+            BufferPolicy::Vertigo {
+                deflect_power: 1,
+                scheduling: false,
+                deflection: true
+            }
+        );
+        assert!(!sw.buffer.wants_priority_queues());
+    }
+
+    #[test]
+    fn dibs_disables_fast_retransmit() {
+        let spec = RunSpec::new(SystemKind::Dibs, CcKind::Dctcp, quick_workload());
+        assert!(!spec.host_config().transport.fast_retransmit);
+        let spec = RunSpec::new(SystemKind::Ecmp, CcKind::Dctcp, quick_workload());
+        assert!(spec.host_config().transport.fast_retransmit);
+    }
+}

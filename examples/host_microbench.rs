@@ -1,0 +1,83 @@
+//! §4.4 host-implementation microbenchmark, in the style of the paper's
+//! DPDK packet-generator experiment: push a million packets through the
+//! full host data path — marking + wire encoding on TX, decoding +
+//! re-sequencing on RX — and report the per-packet overhead and the
+//! throughput impact at 10/25/100 Gbps line rates.
+//!
+//! The paper reports ~300 ns of added TX processing (two hash-table
+//! lookups) and <0.1 % throughput difference on a 25 Gbps ConnectX-4
+//! testbed. This binary measures the same quantities for this
+//! implementation on the local CPU.
+//!
+//! ```sh
+//! cargo run --release --example host_microbench
+//! ```
+
+use std::time::Instant;
+use vertigo::core::flowinfo_wire::{decode_ipv4_option, encode_ipv4_option};
+use vertigo::core::{MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
+use vertigo::pkt::{FlowId, NodeId};
+use vertigo::simcore::SimTime;
+
+const MSS: u32 = 1460;
+const PACKETS: u64 = 1_000_000;
+const FLOWS: u64 = 64;
+const FLOW_BYTES: u64 = (PACKETS / FLOWS) * MSS as u64;
+
+fn main() {
+    // --- TX path: marking + wire encoding -----------------------------
+    let mut marking = MarkingComponent::new(MarkingConfig::default());
+    for f in 0..FLOWS {
+        marking.register_flow(FlowId(f), NodeId(1), FLOW_BYTES);
+    }
+    let mut offsets = vec![0u64; FLOWS as usize];
+    let mut headers: Vec<[u8; 8]> = Vec::with_capacity(PACKETS as usize);
+    let t0 = Instant::now();
+    for i in 0..PACKETS {
+        let f = (i % FLOWS) as usize;
+        let info = marking.mark(FlowId(f as u64), offsets[f], MSS);
+        offsets[f] += MSS as u64;
+        let mut hdr = [0u8; 8];
+        encode_ipv4_option(&info, &mut hdr).expect("encode");
+        headers.push(hdr);
+    }
+    let tx = t0.elapsed();
+    let tx_ns = tx.as_nanos() as f64 / PACKETS as f64;
+
+    // --- RX path: decoding + ordering shim (in-order fast path) -------
+    let mut ordering: OrderingComponent<u64> = OrderingComponent::new(OrderingConfig::default());
+    let mut out = Vec::with_capacity(4);
+    let mut delivered = 0u64;
+    let t1 = Instant::now();
+    for (i, hdr) in headers.iter().enumerate() {
+        let info = decode_ipv4_option(hdr).expect("decode");
+        let f = FlowId((i as u64) % FLOWS);
+        out.clear();
+        ordering.on_packet(SimTime::from_nanos(i as u64), f, info, MSS, i as u64, &mut out);
+        delivered += out.len() as u64;
+    }
+    let rx = t1.elapsed();
+    let rx_ns = rx.as_nanos() as f64 / PACKETS as f64;
+    assert_eq!(delivered, PACKETS, "in-order traffic passes straight through");
+
+    println!("host data-path microbenchmark ({PACKETS} packets, {FLOWS} flows)\n");
+    println!("TX  (mark + encode) : {tx_ns:6.1} ns/pkt");
+    println!("RX  (decode + order): {rx_ns:6.1} ns/pkt");
+    println!("paper's DPDK figure : ~300 ns/pkt added on TX\n");
+
+    // Throughput impact: an MTU packet occupies the wire for
+    // 1500 B * 8 / rate; the stack can sustain line rate as long as its
+    // per-packet cost stays below that budget.
+    println!("line rate  wire time/pkt  TX+RX budget used");
+    for gbps in [10u64, 25, 100] {
+        let wire_ns = 1500.0 * 8.0 / gbps as f64;
+        let used = (tx_ns + rx_ns) / wire_ns * 100.0;
+        println!("{gbps:>6} G  {wire_ns:10.1} ns  {used:13.1} %");
+    }
+    println!(
+        "\nAt the paper's 25 Gbps testbed rate the components use {:.1} % of the\n\
+         per-packet budget — consistent with its '<0.1 % throughput change'\n\
+         (the NIC, not the stack, is the bottleneck).",
+        (tx_ns + rx_ns) / (1500.0 * 8.0 / 25.0) * 100.0
+    );
+}

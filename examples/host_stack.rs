@@ -1,0 +1,78 @@
+//! Using the Vertigo host components standalone — the way a real host
+//! network stack (the paper's DPDK prototype) would: mark packets on TX,
+//! encode the flowinfo header onto the wire, then recover ordering on RX
+//! after the network shuffled and retransmitted packets.
+//!
+//! No simulator involved: this is the `vertigo-core` public API.
+//!
+//! ```sh
+//! cargo run --release --example host_stack
+//! ```
+
+use vertigo::core::flowinfo_wire::{decode_ipv4_option, encode_ipv4_option};
+use vertigo::core::{
+    MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig,
+};
+use vertigo::pkt::{FlowId, NodeId};
+use vertigo::simcore::SimTime;
+
+fn main() {
+    const MSS: u32 = 1460;
+    let flow = FlowId(77);
+    let flow_bytes: u64 = 5 * MSS as u64;
+
+    // --- TX path: mark a 5-packet flow --------------------------------
+    let mut marking = MarkingComponent::new(MarkingConfig::default());
+    marking.register_flow(flow, NodeId(1), flow_bytes);
+    let mut wire_packets = Vec::new();
+    for k in 0..5u64 {
+        let info = marking.mark(flow, k * MSS as u64, MSS);
+        let mut hdr = [0u8; 8];
+        encode_ipv4_option(&info, &mut hdr).expect("encode");
+        println!(
+            "TX pkt {k}: RFS={:>5}  retcnt={} first={}  wire={:02x?}",
+            info.rfs, info.retcnt, info.first, hdr
+        );
+        wire_packets.push((k, hdr));
+    }
+    // Packet 2 is "lost" and retransmitted: the marking component detects
+    // the duplicate via its cuckoo filter and boosts it (RFS rotated).
+    let rtx = marking.mark(flow, 2 * MSS as u64, MSS);
+    let mut rtx_hdr = [0u8; 8];
+    encode_ipv4_option(&rtx, &mut rtx_hdr).expect("encode");
+    println!(
+        "TX rtx 2: RFS={:>5} (boosted from {})  retcnt={}",
+        rtx.rfs,
+        rtx.rfs.rotate_left(1),
+        rtx.retcnt
+    );
+
+    // --- the network delivers out of order ----------------------------
+    // Arrival order: 0, 1, 3 (deflected ahead), 4, then the boosted rtx 2.
+    let arrival_order = [0usize, 1, 3, 4];
+
+    // --- RX path: re-sequence ------------------------------------------
+    let mut ordering: OrderingComponent<u64> = OrderingComponent::new(OrderingConfig::default());
+    let mut delivered = Vec::new();
+    let mut out = Vec::new();
+    for &k in &arrival_order {
+        let (idx, hdr) = wire_packets[k];
+        let info = decode_ipv4_option(&hdr).expect("decode");
+        let now = SimTime::from_micros(10 * (k as u64 + 1));
+        ordering.on_packet(now, flow, info, MSS, idx, &mut out);
+        for d in out.drain(..) {
+            delivered.push(d.item);
+        }
+    }
+    println!("\nRX after {arrival_order:?} arrived: delivered {delivered:?} (3 and 4 held back)");
+
+    // The boosted retransmission of 2 arrives; the gap closes; 2,3,4 flush.
+    let info = decode_ipv4_option(&rtx_hdr).expect("decode");
+    ordering.on_packet(SimTime::from_micros(100), flow, info, MSS, 2, &mut out);
+    for d in out.drain(..) {
+        delivered.push(d.item);
+    }
+    println!("RX after rtx(2) arrived:  delivered {delivered:?}");
+    assert_eq!(delivered, vec![0, 1, 2, 3, 4]);
+    println!("\nTransport saw a perfectly ordered byte stream. ✔");
+}

@@ -1,0 +1,49 @@
+//! Incast deep-dive: sweep the fan-in of a synchronized burst and watch
+//! how each in-network policy degrades — the microburst experiment at the
+//! heart of the Vertigo paper (compare Fig. 8).
+//!
+//! ```sh
+//! cargo run --release --example incast_burst
+//! ```
+
+use vertigo::simcore::SimDuration;
+use vertigo::transport::CcKind;
+use vertigo::workload::{
+    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+};
+
+fn main() {
+    println!("fan-in  system   queries%   mean QCT    drops  deflections");
+    println!("------------------------------------------------------------");
+    for scale in [4usize, 8, 16, 24] {
+        let workload = WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.40,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(IncastSpec {
+                qps: 800.0,
+                scale,
+                flow_bytes: 40_000,
+            }),
+        };
+        for system in SystemKind::all() {
+            let mut spec = RunSpec::new(system, CcKind::Dctcp, workload);
+            spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+            spec.horizon = SimDuration::from_millis(30);
+            spec.seed = 7;
+            let out = spec.run();
+            let r = &out.report;
+            println!(
+                "{:>6}  {:<8} {:>7.1}%  {:>8.3}ms  {:>7}  {:>11}",
+                scale,
+                system.name(),
+                r.query_completion_ratio() * 100.0,
+                r.qct_mean * 1e3,
+                r.drops,
+                r.deflections,
+            );
+        }
+        println!();
+    }
+}

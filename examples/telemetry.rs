@@ -1,0 +1,82 @@
+//! Deflection-aware telemetry (paper §5, future work): watch a microburst
+//! that classic drop-based monitoring cannot see.
+//!
+//! With Vertigo, a microburst produces *deflections*, not drops — so a
+//! telemetry system that only counts drops reports a healthy network
+//! while queues ricochet traffic around a hotspot. This example samples
+//! the fabric every 100 µs and classifies intervals into microburst vs.
+//! persistent-congestion episodes.
+//!
+//! ```sh
+//! cargo run --release --example telemetry
+//! ```
+
+use vertigo::netsim::{
+    detect_bursts, HostConfig, IntervalClass, LinkParams, SimConfig, Simulation, SwitchConfig,
+    TelemetryConfig, TopologySpec,
+};
+use vertigo::pkt::NodeId;
+use vertigo::simcore::{SimDuration, SimTime};
+use vertigo::transport::{CcKind, TransportConfig};
+
+fn main() {
+    let mut sw = SwitchConfig::vertigo();
+    sw.port_buffer_bytes = 100_000;
+    let mut sim = Simulation::new(&SimConfig {
+        topology: TopologySpec::LeafSpine {
+            spines: 2,
+            leaves: 4,
+            hosts_per_leaf: 4,
+            host_link: LinkParams::gbps(10, 500),
+            fabric_link: LinkParams::gbps(40, 500),
+        },
+        switch: sw,
+        host: HostConfig::vertigo(TransportConfig::default_for(CcKind::Dctcp)),
+        horizon: SimDuration::from_millis(20),
+        seed: 1,
+    });
+    sim.enable_telemetry(TelemetryConfig {
+        interval: SimDuration::from_micros(100),
+    });
+
+    // One sharp 15-to-1 microburst at t = 2 ms.
+    let at = SimTime::from_millis(2);
+    let q = sim.register_query(15, at);
+    for i in 1..16u32 {
+        sim.schedule_flow(at, NodeId(i), NodeId(0), 120_000, q);
+    }
+    let report = sim.run();
+
+    let tel = sim.telemetry().expect("telemetry enabled");
+    println!("samples: {}  (every 100 µs)", tel.samples.len());
+    println!("total drops: {}   total deflections: {}\n", report.drops, report.deflections);
+
+    println!("time        queued   max-port  defl  drops  class");
+    println!("----------------------------------------------------");
+    let episodes = detect_bursts(&tel.samples, 10, 2);
+    for s in tel.samples.iter().filter(|s| s.deflections > 0 || s.drops > 0) {
+        let class = episodes
+            .iter()
+            .find(|e| e.start <= s.at && s.at <= e.end)
+            .map(|e| e.class)
+            .unwrap_or(IntervalClass::Quiet);
+        println!(
+            "{:>9}  {:>7}B  {:>7}B  {:>4}  {:>5}  {:?}",
+            s.at.to_string(),
+            s.queued_bytes,
+            s.max_port_bytes,
+            s.deflections,
+            s.drops,
+            class
+        );
+    }
+    println!("\nepisodes:");
+    for e in &episodes {
+        if e.class != IntervalClass::Quiet {
+            println!(
+                "  {:?} from {} to {}: {} deflections, {} drops",
+                e.class, e.start, e.end, e.deflections, e.drops
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # vertigo
+//!
+//! A full Rust reproduction of *"Burst-tolerant Datacenter Networks with
+//! Vertigo"* (Abdous, Sharafzadeh, Ghorbani — CoNEXT 2021): selective packet
+//! deflection driven by remaining-flow-size tagging, evaluated on a
+//! packet-level datacenter network simulator built from scratch.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`simcore`] — deterministic discrete-event kernel,
+//! * [`pkt`] — packets, flows, addressing,
+//! * [`core`] — the paper's contribution: marking, boosting, cuckoo filter,
+//!   PIEO priority queue, and the RX ordering component,
+//! * [`transport`] — TCP Reno, DCTCP, and Swift,
+//! * [`netsim`] — switches, topologies, forwarding/deflection policies, and
+//!   the simulation driver,
+//! * [`workload`] — empirical traffic distributions and the incast
+//!   application,
+//! * [`stats`] — metric recording and summarization.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `vertigo-experiments` binary for the paper's full evaluation.
+
+#![forbid(unsafe_code)]
+
+pub use vertigo_core as core;
+pub use vertigo_netsim as netsim;
+pub use vertigo_pkt as pkt;
+pub use vertigo_simcore as simcore;
+pub use vertigo_stats as stats;
+pub use vertigo_transport as transport;
+pub use vertigo_workload as workload;

@@ -1,0 +1,74 @@
+//! The public API surface a downstream user sees through the `vertigo`
+//! facade crate: every re-export path used in the README compiles and
+//! behaves.
+
+use vertigo::core::{boost, CuckooFilter, PieoQueue};
+use vertigo::netsim::{HostConfig, SimConfig, Simulation, SwitchConfig, TopologySpec};
+use vertigo::pkt::{FlowId, NodeId, QueryId};
+use vertigo::simcore::{SimDuration, SimRng, SimTime};
+use vertigo::stats::percentile;
+use vertigo::transport::{CcKind, TransportConfig};
+use vertigo::workload::{DistKind, RunSpec, SystemKind, WorkloadSpec, CACHE_FOLLOWER};
+
+#[test]
+fn facade_paths_work_end_to_end() {
+    // simcore
+    let mut rng = SimRng::new(1);
+    assert!(rng.uniform() < 1.0);
+    let t = SimTime::from_micros(5) + SimDuration::from_micros(5);
+    assert_eq!(t, SimTime::from_micros(10));
+
+    // core primitives
+    let mut f = CuckooFilter::with_capacity(64);
+    assert!(f.insert(42));
+    assert!(f.contains(42));
+    let mut q = PieoQueue::new();
+    q.push(9, "elephant");
+    q.push(1, "mouse");
+    assert_eq!(q.pop_min().unwrap().1, "mouse");
+    assert_eq!(boost::logical_rfs(20_000u32.rotate_right(1), 1, 1), 10_000);
+
+    // stats
+    assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.5), 2.0);
+
+    // workload distributions
+    assert!(CACHE_FOLLOWER.mean_bytes() > 0.0);
+    assert_eq!(DistKind::CacheFollower.name(), "cache-follower");
+
+    // a complete minimal simulation through the facade
+    let mut sim = Simulation::new(&SimConfig {
+        topology: TopologySpec::paper_leaf_spine(2),
+        switch: SwitchConfig::vertigo(),
+        host: HostConfig::vertigo(TransportConfig::default_for(CcKind::Dctcp)),
+        horizon: SimDuration::from_millis(10),
+        seed: 1,
+    });
+    let flow = sim.schedule_flow(
+        SimTime::ZERO,
+        NodeId(0),
+        NodeId(9),
+        50_000,
+        QueryId::NONE,
+    );
+    assert_eq!(flow, FlowId(1));
+    let report = sim.run();
+    assert_eq!(report.flows_completed, 1);
+
+    // and the one-line runner
+    let mut spec = RunSpec::new(
+        SystemKind::Vertigo,
+        CcKind::Dctcp,
+        WorkloadSpec {
+            background: None,
+            incast: Some(vertigo::workload::IncastSpec {
+                qps: 200.0,
+                scale: 4,
+                flow_bytes: 20_000,
+            }),
+        },
+    );
+    spec.topo = vertigo::workload::TopoKind::LeafSpine { hosts_per_leaf: 2 };
+    spec.horizon = SimDuration::from_millis(10);
+    let out = spec.run();
+    assert!(out.report.queries_completed > 0);
+}

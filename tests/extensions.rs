@@ -1,0 +1,153 @@
+//! End-to-end tests for the two future-work extensions: NDP-style packet
+//! trimming (§5 related work: buffer management) and deflection-aware
+//! telemetry (§5: integration with network monitoring).
+
+use vertigo::netsim::{
+    detect_bursts, HostConfig, IntervalClass, LinkParams, SimConfig, Simulation, SwitchConfig,
+    TelemetryConfig, TopologySpec,
+};
+use vertigo::pkt::NodeId;
+use vertigo::simcore::{SimDuration, SimTime};
+use vertigo::transport::{CcKind, TransportConfig};
+
+fn small_ls() -> TopologySpec {
+    TopologySpec::LeafSpine {
+        spines: 2,
+        leaves: 4,
+        hosts_per_leaf: 4,
+        host_link: LinkParams::gbps(10, 500),
+        fabric_link: LinkParams::gbps(40, 500),
+    }
+}
+
+fn incast(sim: &mut Simulation, fanin: u32, bytes: u64) {
+    let q = sim.register_query(fanin, SimTime::ZERO);
+    for i in 1..=fanin {
+        sim.schedule_flow(SimTime::ZERO, NodeId(i), NodeId(0), bytes, q);
+    }
+}
+
+#[test]
+fn trimming_replaces_drops_with_signals() {
+    let run = |sw: SwitchConfig| {
+        let mut cfg_sw = sw;
+        cfg_sw.port_buffer_bytes = 100_000;
+        let mut sim = Simulation::new(&SimConfig {
+            topology: small_ls(),
+            switch: cfg_sw,
+            host: HostConfig::plain(TransportConfig::default_for(CcKind::Reno)),
+            horizon: SimDuration::from_millis(40),
+            seed: 21,
+        });
+        incast(&mut sim, 15, 300_000);
+        let rep = sim.run();
+        (rep, sim.recorder().trims, sim.recorder().rtos)
+    };
+    let (drop_rep, drop_trims, _) = run(SwitchConfig::ecmp());
+    let (trim_rep, trim_trims, _) = run(SwitchConfig::ndp_trim());
+    assert_eq!(drop_trims, 0);
+    assert!(trim_trims > 0, "overflow must trim");
+    // Trimming converts losses into fast-retransmit signals: fewer RTOs
+    // and at least as many completed queries.
+    assert!(
+        trim_rep.rtos <= drop_rep.rtos,
+        "trim rtos {} vs drop rtos {}",
+        trim_rep.rtos,
+        drop_rep.rtos
+    );
+    assert!(trim_rep.queries_completed >= drop_rep.queries_completed);
+}
+
+#[test]
+fn trimmed_flows_still_complete_exactly() {
+    let mut sw = SwitchConfig::ndp_trim();
+    sw.port_buffer_bytes = 60_000;
+    let mut sim = Simulation::new(&SimConfig {
+        topology: small_ls(),
+        switch: sw,
+        host: HostConfig::plain(TransportConfig::default_for(CcKind::Dctcp)),
+        horizon: SimDuration::from_millis(100),
+        seed: 5,
+    });
+    incast(&mut sim, 12, 150_000);
+    let rep = sim.run();
+    assert!(sim.recorder().trims > 0);
+    assert_eq!(
+        rep.flows_completed, 12,
+        "every byte must still arrive exactly once (rtos={})",
+        rep.rtos
+    );
+}
+
+#[test]
+fn telemetry_sees_microburst_through_deflection() {
+    // Under Vertigo a microburst produces deflections but (almost) no
+    // drops — invisible to drop-based monitoring, visible to ours.
+    let mut sw = SwitchConfig::vertigo();
+    sw.port_buffer_bytes = 100_000;
+    let mut sim = Simulation::new(&SimConfig {
+        topology: small_ls(),
+        switch: sw,
+        host: HostConfig::vertigo(TransportConfig::default_for(CcKind::Dctcp)),
+        horizon: SimDuration::from_millis(20),
+        seed: 9,
+    });
+    sim.enable_telemetry(TelemetryConfig {
+        interval: SimDuration::from_micros(100),
+    });
+    incast(&mut sim, 15, 120_000);
+    let rep = sim.run();
+    assert!(rep.deflections > 0, "need a deflected burst");
+    let tel = sim.telemetry().expect("telemetry enabled");
+    assert!(
+        tel.samples.len() > 100,
+        "20 ms at 100 µs ≈ 200 samples, got {}",
+        tel.samples.len()
+    );
+    let episodes = detect_bursts(&tel.samples, 10, 2);
+    assert!(
+        episodes
+            .iter()
+            .any(|e| e.class == IntervalClass::Microburst),
+        "the incast must classify as a microburst episode: {episodes:?}"
+    );
+    // The fabric quiets down after the burst: the last episode is Quiet.
+    assert_eq!(
+        episodes.last().map(|e| e.class),
+        Some(IntervalClass::Quiet),
+        "fabric should drain by the horizon"
+    );
+    // Interval deltas must sum back to the cumulative counter.
+    let defl_sum: u64 = tel.samples.iter().map(|s| s.deflections).sum();
+    assert!(defl_sum <= rep.deflections);
+    assert!(defl_sum * 10 >= rep.deflections * 9, "sampling must cover most of the run");
+}
+
+#[test]
+fn telemetry_distinguishes_persistent_congestion() {
+    // ECMP under sustained overload: drops accumulate interval after
+    // interval -> persistent congestion, not a microburst.
+    let mut sw = SwitchConfig::ecmp();
+    sw.port_buffer_bytes = 60_000;
+    let mut sim = Simulation::new(&SimConfig {
+        topology: small_ls(),
+        switch: sw,
+        host: HostConfig::plain(TransportConfig::default_for(CcKind::Reno)),
+        horizon: SimDuration::from_millis(20),
+        seed: 9,
+    });
+    sim.enable_telemetry(TelemetryConfig {
+        interval: SimDuration::from_micros(100),
+    });
+    incast(&mut sim, 15, 400_000);
+    let rep = sim.run();
+    assert!(rep.drops > 50);
+    let tel = sim.telemetry().expect("enabled");
+    let episodes = detect_bursts(&tel.samples, 10, 2);
+    assert!(
+        episodes
+            .iter()
+            .any(|e| e.class == IntervalClass::PersistentCongestion),
+        "sustained drops must classify as persistent congestion"
+    );
+}

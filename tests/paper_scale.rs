@@ -1,0 +1,78 @@
+//! Paper-scale construction checks: the `--full` topologies build,
+//! validate, and route correctly (no traffic — construction only, so this
+//! stays fast).
+
+use vertigo::netsim::{LinkParams, TopologySpec};
+use vertigo::pkt::NodeId;
+
+#[test]
+fn paper_leaf_spine_builds_at_full_scale() {
+    // §4.1: 4 cores, 8 aggregates, 320 servers, 10G host / 40G fabric.
+    let topo = TopologySpec::paper_leaf_spine(40).build();
+    assert_eq!(topo.hosts, 320);
+    assert_eq!(topo.switches, 12);
+    topo.validate().expect("paper leaf-spine must validate");
+    assert_eq!(topo.total_host_bw_bps(), 320 * 10_000_000_000);
+    // Host links are 10G, fabric links 40G.
+    assert_eq!(topo.adj[0][0].1, LinkParams::gbps(10, 500));
+    let leaf = topo.access_switch(NodeId(0));
+    let uplink = topo.adj[leaf.index()]
+        .iter()
+        .find(|(peer, _)| !topo.is_host(*peer))
+        .expect("leaf has uplinks");
+    assert_eq!(uplink.1, LinkParams::gbps(40, 500));
+
+    // Routing: every switch reaches every host; inter-rack paths have the
+    // full spine fan-out at the source leaf.
+    let routes = topo.switch_routes();
+    for (s, per_dst) in routes.iter().enumerate() {
+        for (h, cands) in per_dst.iter().enumerate() {
+            assert!(!cands.is_empty(), "switch {s} cannot reach host {h}");
+        }
+    }
+    let src_leaf = topo.access_switch(NodeId(0));
+    let remote_host = 319; // other end of the fabric
+    assert_eq!(
+        routes[src_leaf.index() - topo.hosts][remote_host].len(),
+        4,
+        "4 spines = 4 ECMP candidates"
+    );
+}
+
+#[test]
+fn paper_fat_tree_builds_at_full_scale() {
+    // Fig. 7: k=8 fat-tree, 128 servers, 80 switches, 10G links.
+    let topo = TopologySpec::paper_fat_tree().build();
+    assert_eq!(topo.hosts, 128);
+    assert_eq!(topo.switches, 80);
+    topo.validate().expect("paper fat-tree must validate");
+    let routes = topo.switch_routes();
+    // Paper §4.2 (Fig. 7f discussion): the fat-tree offers 4x the
+    // forwarding choices of the leaf-spine at the first hop toward a
+    // remote pod: edge -> 4 aggs, agg -> 4 cores.
+    let edge = topo.access_switch(NodeId(0));
+    let remote = 127;
+    assert_eq!(routes[edge.index() - topo.hosts][remote].len(), 4);
+    // And every (switch, host) pair is reachable.
+    for per_dst in &routes {
+        for cands in per_dst {
+            assert!(!cands.is_empty());
+        }
+    }
+}
+
+#[test]
+fn table1_defaults_are_encoded() {
+    // Table 1 of the paper: default incast 4000 QPS / scale 100 / 40 KB on
+    // the 320-host fabric. Our qps_for_load inverts to the same load.
+    use vertigo::workload::IncastSpec;
+    let total_bw = 320 * 10_000_000_000u64;
+    let load = IncastSpec {
+        qps: 4000.0,
+        scale: 100,
+        flow_bytes: 40_000,
+    }
+    .offered_load(total_bw);
+    // 4000*100*40KB*8 = 128 Gbps of 3.2 Tbps = 4 %.
+    assert!((load - 0.04).abs() < 1e-9);
+}

@@ -1,0 +1,180 @@
+//! Scaled-down reproductions of the paper's headline claims, asserted as
+//! tests. These run small topologies and short horizons, so they check
+//! *direction* (who wins) rather than magnitudes — the full-magnitude runs
+//! live in the `experiments` harness and EXPERIMENTS.md.
+
+use vertigo::simcore::SimDuration;
+use vertigo::transport::CcKind;
+use vertigo::workload::{
+    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+};
+
+fn bursty(bg: f64, incast_load_per_bw: f64) -> WorkloadSpec {
+    // 32-host leaf-spine => 320 Gbps aggregate.
+    let total_bw = 32 * 10_000_000_000u64;
+    WorkloadSpec {
+        background: Some(BackgroundSpec {
+            load: bg,
+            dist: DistKind::CacheFollower,
+        }),
+        incast: Some(IncastSpec {
+            qps: IncastSpec::qps_for_load(incast_load_per_bw, 12, 40_000, total_bw),
+            scale: 12,
+            flow_bytes: 40_000,
+        }),
+    }
+}
+
+fn spec(system: SystemKind, cc: CcKind, wl: WorkloadSpec) -> RunSpec {
+    let mut s = RunSpec::new(system, cc, wl);
+    s.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+    s.horizon = SimDuration::from_millis(40);
+    s.seed = 2024;
+    s
+}
+
+/// §1/§4.2: under heavy bursty load, Vertigo+DCTCP completes more incast
+/// queries than ECMP, DRILL, and DIBS, with fewer drops than DIBS/ECMP.
+#[test]
+fn vertigo_beats_baselines_under_heavy_load() {
+    let wl = bursty(0.50, 0.35); // 85 % aggregate
+    let vertigo = spec(SystemKind::Vertigo, CcKind::Dctcp, wl).run();
+    for other in [SystemKind::Ecmp, SystemKind::Drill, SystemKind::Dibs] {
+        let base = spec(other, CcKind::Dctcp, wl).run();
+        assert!(
+            vertigo.report.query_completion_ratio() >= base.report.query_completion_ratio(),
+            "{}: completion {:.3} vs vertigo {:.3}",
+            other.name(),
+            base.report.query_completion_ratio(),
+            vertigo.report.query_completion_ratio()
+        );
+    }
+}
+
+/// §4.2: Vertigo+Swift drops far fewer packets than ECMP+Swift under
+/// bursty load, and far fewer than Vertigo+DCTCP (Swift's sub-packet
+/// windows complement deflection).
+#[test]
+fn vertigo_swift_nearly_lossless() {
+    let wl = bursty(0.50, 0.25); // 75 % aggregate, bursty
+    let vertigo_swift = spec(SystemKind::Vertigo, CcKind::Swift, wl).run();
+    let ecmp_swift = spec(SystemKind::Ecmp, CcKind::Swift, wl).run();
+    let vertigo_dctcp = spec(SystemKind::Vertigo, CcKind::Dctcp, wl).run();
+    assert!(
+        vertigo_swift.report.drop_rate <= ecmp_swift.report.drop_rate,
+        "vertigo {:.2e} vs ecmp {:.2e}",
+        vertigo_swift.report.drop_rate,
+        ecmp_swift.report.drop_rate
+    );
+    assert!(
+        vertigo_swift.report.drop_rate < 1e-2,
+        "vertigo+swift should be nearly lossless, got {:.2e}",
+        vertigo_swift.report.drop_rate
+    );
+    assert!(
+        vertigo_swift.report.drop_rate <= vertigo_dctcp.report.drop_rate,
+        "swift {:.2e} should undercut dctcp {:.2e} on drops",
+        vertigo_swift.report.drop_rate,
+        vertigo_dctcp.report.drop_rate
+    );
+}
+
+/// §2: DIBS (random deflection) inflates the mean hop count relative to
+/// ECMP — the path-stretch cost of deflection.
+#[test]
+fn random_deflection_inflates_path_length() {
+    let wl = bursty(0.15, 0.45); // bursty enough to deflect constantly
+    let dibs = spec(SystemKind::Dibs, CcKind::Dctcp, wl).run();
+    let ecmp = spec(SystemKind::Ecmp, CcKind::Dctcp, wl).run();
+    assert!(dibs.report.deflections > 0, "DIBS must deflect here");
+    assert!(
+        dibs.report.mean_hops > ecmp.report.mean_hops,
+        "dibs hops {:.3} should exceed ecmp {:.3}",
+        dibs.report.mean_hops,
+        ecmp.report.mean_hops
+    );
+}
+
+/// §3.2: under identical traffic, Vertigo drops fewer packets than plain
+/// tail-drop because deflection absorbs the microburst.
+#[test]
+fn selective_deflection_absorbs_bursts() {
+    let wl = bursty(0.30, 0.45);
+    let vertigo = spec(SystemKind::Vertigo, CcKind::Dctcp, wl).run();
+    let ecmp = spec(SystemKind::Ecmp, CcKind::Dctcp, wl).run();
+    assert!(vertigo.report.deflections > 0);
+    assert!(
+        vertigo.report.drops < ecmp.report.drops,
+        "vertigo {} drops vs ecmp {}",
+        vertigo.report.drops,
+        ecmp.report.drops
+    );
+}
+
+/// §4.3 (Fig. 11b): disabling retransmission boosting hurts query
+/// completion under heavy, drop-inducing load.
+#[test]
+fn boosting_helps_complete_queries() {
+    let wl = bursty(0.50, 0.45); // 95 % aggregate: drops guaranteed
+    let with = spec(SystemKind::Vertigo, CcKind::Dctcp, wl).run();
+    let mut s = spec(SystemKind::Vertigo, CcKind::Dctcp, wl);
+    s.vertigo.boost_factor = None;
+    let without = s.run();
+    assert!(
+        with.report.query_completion_ratio() >= without.report.query_completion_ratio(),
+        "boosting on {:.3} vs off {:.3}",
+        with.report.query_completion_ratio(),
+        without.report.query_completion_ratio()
+    );
+}
+
+/// §3.3: the ordering shim hides deflection-induced reordering from the
+/// transport.
+#[test]
+fn ordering_shim_reduces_transport_reordering() {
+    let wl = bursty(0.30, 0.50);
+    let with = spec(SystemKind::Vertigo, CcKind::Dctcp, wl).run();
+    let mut s = spec(SystemKind::Vertigo, CcKind::Dctcp, wl);
+    s.vertigo.ordering = false;
+    let without = s.run();
+    assert!(with.report.deflections > 0, "need deflections to reorder");
+    assert!(
+        with.report.reorder_rate < without.report.reorder_rate,
+        "shim on {:.4} vs off {:.4}",
+        with.report.reorder_rate,
+        without.report.reorder_rate
+    );
+}
+
+/// §4.3 (Table 3): LAS marking works without flow-size knowledge and still
+/// beats random deflection on query completion under load.
+#[test]
+fn las_fallback_is_viable() {
+    let wl = bursty(0.40, 0.45);
+    let mut s = spec(SystemKind::Vertigo, CcKind::Dctcp, wl);
+    s.vertigo.discipline = vertigo::core::MarkingDiscipline::Las;
+    let las = s.run();
+    let dibs = spec(SystemKind::Dibs, CcKind::Dctcp, wl).run();
+    assert!(
+        las.report.query_completion_ratio() >= dibs.report.query_completion_ratio(),
+        "las {:.3} vs dibs {:.3}",
+        las.report.query_completion_ratio(),
+        dibs.report.query_completion_ratio()
+    );
+}
+
+/// Swift vs DCTCP (Fig. 6): under extreme incast, Swift's sub-packet
+/// windows complete more queries than DCTCP on the same fabric.
+#[test]
+fn swift_outperforms_dctcp_under_extreme_incast() {
+    let wl = bursty(0.25, 0.65); // 90 % aggregate, incast-dominated
+    let swift = spec(SystemKind::Ecmp, CcKind::Swift, wl).run();
+    let dctcp = spec(SystemKind::Ecmp, CcKind::Dctcp, wl).run();
+    assert!(
+        swift.report.query_completion_ratio() >= dctcp.report.query_completion_ratio(),
+        "swift {:.3} vs dctcp {:.3}",
+        swift.report.query_completion_ratio(),
+        dctcp.report.query_completion_ratio()
+    );
+    assert!(swift.report.drop_rate <= dctcp.report.drop_rate);
+}
