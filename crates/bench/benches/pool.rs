@@ -1,0 +1,83 @@
+//! Packet-pool microbenchmarks: the allocator cycle every simulated packet
+//! goes through. Compares plain `Box::new`/drop against the thread-local
+//! free-list pool (`vertigo_pkt::pool`) at the simulator's steady-state
+//! churn of one allocation per delivered packet.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vertigo_pkt::{pool, DataSeg, FlowId, NodeId, Packet, QueryId};
+use vertigo_simcore::SimTime;
+
+fn sample(uid: u64) -> Packet {
+    Packet::data(
+        uid,
+        FlowId(uid),
+        QueryId::NONE,
+        NodeId(0),
+        NodeId(1),
+        DataSeg {
+            seq: uid * 1460,
+            payload: 1460,
+            flow_bytes: 40_000,
+            retransmit: false,
+            trimmed: false,
+        },
+        true,
+        SimTime::ZERO,
+    )
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pkt_pool");
+    g.bench_function("box_new_drop", |b| {
+        let mut uid = 0u64;
+        b.iter(|| {
+            uid += 1;
+            let p = Box::new(sample(black_box(uid)));
+            black_box(&p);
+            drop(p); // straight back to the allocator
+        })
+    });
+    g.bench_function("pool_boxed_recycle", |b| {
+        let mut uid = 0u64;
+        b.iter(|| {
+            uid += 1;
+            let p = pool::boxed(sample(black_box(uid)));
+            black_box(&p);
+            pool::recycle(p); // back to the free list
+        })
+    });
+    // Burst shape: 64 live boxes at once, as in a queue filling then
+    // draining, so the free list actually cycles through its stack.
+    g.bench_function("box_burst64", |b| {
+        let mut uid = 0u64;
+        b.iter(|| {
+            let batch: Vec<Box<Packet>> = (0..64)
+                .map(|_| {
+                    uid += 1;
+                    Box::new(sample(uid))
+                })
+                .collect();
+            black_box(batch.len())
+        })
+    });
+    g.bench_function("pool_burst64", |b| {
+        let mut uid = 0u64;
+        b.iter(|| {
+            let batch: Vec<Box<Packet>> = (0..64)
+                .map(|_| {
+                    uid += 1;
+                    pool::boxed(sample(uid))
+                })
+                .collect();
+            let n = batch.len();
+            for p in batch {
+                pool::recycle(p);
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

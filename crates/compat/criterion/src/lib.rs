@@ -1,0 +1,317 @@
+//! A minimal, dependency-free, drop-in subset of the `criterion` API.
+//!
+//! The real `criterion` crate cannot be fetched in offline build
+//! environments, so this workspace vendors the slice its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed in
+//! batches whose size adapts until the measurement window is filled; the
+//! report prints mean ns/iteration (median of batch means) to stdout. This
+//! is deliberately simpler than criterion's bootstrap statistics but stable
+//! enough to compare data-structure variants on the same machine.
+//!
+//! When invoked by `cargo test` (which passes `--test` to bench binaries),
+//! every benchmark body is executed exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (subset of upstream's enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per measured invocation.
+    PerIteration,
+    /// Small batches (treated like `PerIteration` here).
+    SmallInput,
+    /// Large batches (treated like `PerIteration` here).
+    LargeInput,
+}
+
+/// One measurement: iterations and total elapsed time.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Sample {
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Sample>,
+    /// Test mode: run the body once, skip measurement.
+    smoke: bool,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly, adapting the batch size to fill the window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            return;
+        }
+        // Warm up and size the first batch.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt > Duration::from_millis(2) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.measure_for;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(Sample {
+                iters: batch,
+                elapsed: t0.elapsed(),
+            });
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        // One timed invocation per sample: setup stays outside the clock.
+        let deadline = Instant::now() + self.measure_for;
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            black_box(out);
+            self.samples.push(Sample {
+                iters: 1,
+                elapsed: dt,
+            });
+            measured += dt;
+            // Bail once the window is filled OR enough samples exist; the
+            // extra `measured` check caps runaway setup-heavy benches.
+            if Instant::now() >= deadline
+                && (self.samples.len() >= 10 || measured >= self.measure_for)
+            {
+                break;
+            }
+            if self.samples.len() >= 5000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.smoke {
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        let mut per: Vec<f64> = self.samples.iter().map(Sample::ns_per_iter).collect();
+        if per.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        per.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per[per.len() / 2];
+        let lo = per[per.len() / 20];
+        let hi = per[per.len() - 1 - per.len() / 20];
+        let total_iters: u64 = self.samples.iter().map(|s| s.iters).sum();
+        println!(
+            "{name}{:>width$}time: [{} {} {}]  ({} iters)",
+            "",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+            total_iters,
+            width = 44usize.saturating_sub(name.len()).max(1),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark registry/driver (subset of upstream's `Criterion`).
+pub struct Criterion {
+    smoke: bool,
+    measure_for: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo test` runs bench binaries with `--test`; run each body
+        // once so benches stay compile- and smoke-checked.
+        let smoke = args.iter().any(|a| a == "--test");
+        // First free argument (as `cargo bench -- <filter>` passes it).
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            smoke,
+            measure_for: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the measurement window (upstream: `measurement_time`).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_for = d;
+        self
+    }
+
+    /// Accepted for compatibility; sampling is adaptive here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs (or smoke-runs) one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.as_ref();
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            smoke: self.smoke,
+            measure_for: self.measure_for,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group; names are joined as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of upstream's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling is adaptive here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure_for = d;
+        self
+    }
+
+    /// Runs one benchmark under the group prefix.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each benchmark fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("self/identity", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        c.bench_function("self/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration)
+        });
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("one", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -158,10 +158,7 @@ impl CuckooFilter {
         // in place of the last swap to keep no-false-negative for stored
         // items). Simplest correct recovery: put it back where we took the
         // last one from.
-        let slot = self.buckets[idx]
-            .iter()
-            .position(|&s| s == 0)
-            .unwrap_or(0);
+        let slot = self.buckets[idx].iter().position(|&s| s == 0).unwrap_or(0);
         let displaced = self.buckets[idx][slot];
         self.buckets[idx][slot] = fp;
         if displaced == 0 {
@@ -241,9 +238,7 @@ mod tests {
         for k in 0..4000u64 {
             f.insert(k);
         }
-        let fps = (1_000_000u64..1_100_000)
-            .filter(|&k| f.contains(k))
-            .count();
+        let fps = (1_000_000u64..1_100_000).filter(|&k| f.contains(k)).count();
         // 16-bit fingerprints, 4-way: theoretical ~ 8/2^16 ≈ 0.00012.
         // Allow an order of magnitude of slack.
         assert!(fps < 150, "false positive rate too high: {fps}/100000");

@@ -301,7 +301,11 @@ mod tests {
         let rtx1 = m.mark(f, 0, 1460);
         assert_eq!(rtx1.retcnt, 1);
         assert_eq!(unboost(rtx1.rfs, rtx1.retcnt, 1), orig.rfs);
-        assert_eq!(rtx1.rank(1), (orig.rfs >> 1) as u64, "one boost halves the rank");
+        assert_eq!(
+            rtx1.rank(1),
+            (orig.rfs >> 1) as u64,
+            "one boost halves the rank"
+        );
         let rtx2 = m.mark(f, 0, 1460);
         assert_eq!(rtx2.retcnt, 2);
         assert_eq!(rtx2.rank(1), (orig.rfs >> 2) as u64);

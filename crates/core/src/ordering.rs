@@ -256,12 +256,7 @@ impl<T> OrderingComponent<T> {
                         item,
                         self.cfg.timeout,
                     );
-                    Self::maybe_force_release(
-                        &self.cfg,
-                        &mut self.stats,
-                        st,
-                        out,
-                    );
+                    Self::maybe_force_release(&self.cfg, &mut self.stats, st, out);
                     return false;
                 }
             }
@@ -558,7 +553,11 @@ mod tests {
         o.on_packet(t(2), f, info(3, 5), MSS, 3, &mut out);
         assert_eq!(out.len(), 1);
         let dl = o.next_deadline().unwrap();
-        assert_eq!(dl, t(1) + cfg().timeout, "τ past the oldest buffered arrival");
+        assert_eq!(
+            dl,
+            t(1) + cfg().timeout,
+            "τ past the oldest buffered arrival"
+        );
         o.on_timer(dl, &mut out);
         // Released: 2 and 3 (contiguous run after the abandoned gap).
         let order: Vec<u64> = out.iter().map(|d| d.item).collect();

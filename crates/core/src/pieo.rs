@@ -13,83 +13,334 @@
 //! the paper's requirement that same-flow packets (strictly decreasing RFS
 //! under SRPT) never reorder *and* that distinct flows at the same rank are
 //! served fairly.
-
-use std::collections::BTreeMap;
+//!
+//! The backing store is a min-max heap (Atkinson et al., CACM'86): even
+//! levels ordered for min, odd levels for max, so both ends extract in
+//! O(log n) with no per-element allocation. The heap is laid out as three
+//! parallel arrays — ranks, tie-breaking sequence numbers, payloads — so
+//! the comparison-heavy pop paths walk a dense 8-byte-per-element rank
+//! array and touch the sequence array only on rank ties. Elements are keyed
+//! `(rank, seq)` with a monotonic `seq`, which makes equal-rank behavior
+//! fall out of the key order: the min end serves the oldest (FIFO) and the
+//! max end victimizes the newest (LIFO) — exactly the semantics of the
+//! previous `BTreeMap<(rank, seq), T>` implementation, which is retained in
+//! [`model`] as the reference oracle for differential tests and benchmarks.
 
 /// A rank-ordered queue with efficient min- and max-extraction.
 #[derive(Debug, Clone)]
 pub struct PieoQueue<T> {
-    map: BTreeMap<(u64, u64), T>,
+    /// Heap-ordered ranks. Structure-of-arrays: rank comparisons — the hot
+    /// path of both pops — walk this dense 8-byte-per-element array.
+    ranks: Vec<u64>,
+    /// Tie-breaking insertion sequence numbers, parallel to `ranks`.
+    /// Loaded only when two ranks compare equal.
+    seqs: Vec<u64>,
+    /// Payloads, parallel to `ranks`.
+    items: Vec<T>,
     seq: u64,
+}
+
+/// Whether heap index `i` sits on a min level (even depth; the root is min).
+#[inline]
+fn is_min_level(i: usize) -> bool {
+    (i + 1).ilog2().is_multiple_of(2)
+}
+
+#[inline]
+fn parent(i: usize) -> usize {
+    (i - 1) / 2
+}
+
+/// `true` iff key `a` is better than key `b` for the given direction:
+/// smaller in min mode, larger in max mode. Keys are unique (`seq` is
+/// monotonic), so strict comparison suffices.
+#[inline(always)]
+fn beats<const MIN: bool>(a: (u64, u64), b: (u64, u64)) -> bool {
+    if MIN {
+        a < b
+    } else {
+        a > b
+    }
+}
+
+/// `beats` over the split arrays: compares ranks first and loads the
+/// sequence numbers only on a rank tie, so the hot tournament loop mostly
+/// touches the dense rank array alone.
+#[inline(always)]
+fn beats_at<const MIN: bool>(ranks: &[u64], seqs: &[u64], a: usize, b: usize) -> bool {
+    let (ra, rb) = (ranks[a], ranks[b]);
+    if ra != rb {
+        return if MIN { ra < rb } else { ra > rb };
+    }
+    let (sa, sb) = (seqs[a], seqs[b]);
+    if MIN {
+        sa < sb
+    } else {
+        sa > sb
+    }
 }
 
 impl<T> PieoQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         PieoQueue {
-            map: BTreeMap::new(),
+            ranks: Vec::new(),
+            seqs: Vec::new(),
+            items: Vec::new(),
             seq: 0,
         }
     }
 
     /// Number of queued elements.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.ranks.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.ranks.is_empty()
     }
 
     /// Inserts `item` with the given rank ("push-in").
     pub fn push(&mut self, rank: u64, item: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.map.insert((rank, seq), item);
+        self.ranks.push(rank);
+        self.seqs.push(seq);
+        self.items.push(item);
+        self.bubble_up(self.ranks.len() - 1);
     }
 
     /// Removes and returns the smallest-rank element ("extract-out"):
-    /// the next packet to transmit under SRPT.
+    /// the next packet to transmit under SRPT. Equal ranks come out FIFO.
     pub fn pop_min(&mut self) -> Option<(u64, T)> {
-        let (&key, _) = self.map.iter().next()?;
-        let item = self.map.remove(&key)?;
-        Some((key.0, item))
+        if self.ranks.is_empty() {
+            return None;
+        }
+        let last = self.ranks.len() - 1;
+        self.swap_cells(0, last);
+        let rank = self.ranks.pop().expect("checked non-empty");
+        self.seqs.pop().expect("seqs parallel to ranks");
+        let item = self.items.pop().expect("items parallel to ranks");
+        if !self.ranks.is_empty() {
+            // The root is a min level.
+            self.trickle_down::<true>(0);
+        }
+        Some((rank, item))
     }
 
     /// Removes and returns the largest-rank element (Vertigo's tail
     /// extraction): the deflection/drop victim. Among equal ranks the most
     /// recently inserted is victimized, so older traffic keeps its place.
     pub fn pop_max(&mut self) -> Option<(u64, T)> {
-        let (&key, _) = self.map.iter().next_back()?;
-        let item = self.map.remove(&key)?;
-        Some((key.0, item))
+        let idx = self.max_index()?;
+        let last = self.ranks.len() - 1;
+        self.swap_cells(idx, last);
+        let rank = self.ranks.pop().expect("max_index implies non-empty");
+        self.seqs.pop().expect("seqs parallel to ranks");
+        let item = self.items.pop().expect("items parallel to ranks");
+        if idx < self.ranks.len() {
+            // idx is 1 or 2 here — a max level. (max_index returns 0 only
+            // for a single-element heap, which is empty after the pop.)
+            self.trickle_down::<false>(idx);
+        }
+        Some((rank, item))
     }
 
     /// Rank of the head (smallest) element.
     pub fn peek_min_rank(&self) -> Option<u64> {
-        self.map.keys().next().map(|&(r, _)| r)
+        self.ranks.first().copied()
     }
 
     /// Rank of the tail (largest) element.
     pub fn peek_max_rank(&self) -> Option<u64> {
-        self.map.keys().next_back().map(|&(r, _)| r)
+        self.max_index().map(|i| self.ranks[i])
     }
 
     /// Borrows the tail (largest-rank) element.
     pub fn peek_max(&self) -> Option<&T> {
-        self.map.values().next_back()
+        self.max_index().map(|i| &self.items[i])
     }
 
     /// Iterates elements in ascending rank order.
+    ///
+    /// Cold path (used by diagnostics and tests only): materializes a
+    /// sorted view, O(n log n).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
-        self.map.iter().map(|(&(r, _), v)| (r, v))
+        let mut order: Vec<usize> = (0..self.ranks.len()).collect();
+        order.sort_unstable_by_key(|&i| (self.ranks[i], self.seqs[i]));
+        order.into_iter().map(|i| (self.ranks[i], &self.items[i]))
     }
 
-    /// Drains all elements in ascending rank order.
+    /// Drains all elements in ascending rank order. Cold path, O(n log n).
     pub fn drain(&mut self) -> Vec<(u64, T)> {
-        let map = std::mem::take(&mut self.map);
-        map.into_iter().map(|((r, _), v)| (r, v)).collect()
+        let ranks = std::mem::take(&mut self.ranks);
+        let seqs = std::mem::take(&mut self.seqs);
+        let items = std::mem::take(&mut self.items);
+        let mut all: Vec<((u64, u64), T)> = ranks.into_iter().zip(seqs).zip(items).collect();
+        all.sort_unstable_by_key(|&(key, _)| key);
+        all.into_iter().map(|((r, _), v)| (r, v)).collect()
+    }
+
+    /// Full `(rank, seq)` key of the element at `i`.
+    #[inline]
+    fn key(&self, i: usize) -> (u64, u64) {
+        (self.ranks[i], self.seqs[i])
+    }
+
+    /// Index of the maximum element: the larger of the two max-level roots
+    /// (indices 1 and 2), or the root itself for tiny heaps.
+    #[inline]
+    fn max_index(&self) -> Option<usize> {
+        match self.ranks.len() {
+            0 => None,
+            1 => Some(0),
+            2 => Some(1),
+            _ => Some(if beats_at::<false>(&self.ranks, &self.seqs, 2, 1) {
+                2
+            } else {
+                1
+            }),
+        }
+    }
+
+    /// Swaps the cell at `a` with the cell at `b` in all parallel arrays.
+    #[inline]
+    fn swap_cells(&mut self, a: usize, b: usize) {
+        self.ranks.swap(a, b);
+        self.seqs.swap(a, b);
+        self.items.swap(a, b);
+    }
+
+    fn bubble_up(&mut self, i: usize) {
+        if i == 0 {
+            return;
+        }
+        let p = parent(i);
+        if is_min_level(i) {
+            if self.key(i) > self.key(p) {
+                self.swap_cells(i, p);
+                self.bubble_up_grandparents::<false>(p);
+            } else {
+                self.bubble_up_grandparents::<true>(i);
+            }
+        } else if self.key(i) < self.key(p) {
+            self.swap_cells(i, p);
+            self.bubble_up_grandparents::<true>(p);
+        } else {
+            self.bubble_up_grandparents::<false>(i);
+        }
+    }
+
+    /// Walks `i` up through same-parity levels; `MIN` selects direction.
+    fn bubble_up_grandparents<const MIN: bool>(&mut self, mut i: usize) {
+        while i > 2 {
+            let gp = parent(parent(i));
+            if !beats::<MIN>(self.key(i), self.key(gp)) {
+                break;
+            }
+            self.swap_cells(i, gp);
+            i = gp;
+        }
+    }
+
+    /// Restores the min-max property below `i`, which must sit on a
+    /// min level when `MIN` (else a max level).
+    ///
+    /// This is the hot path of both pops, so it is monomorphized per
+    /// direction (no runtime branch on it) and uses the hole technique:
+    /// the sinking key rides in registers (`rk`, `sk`) and is stored once,
+    /// where the walk ends, while each hop promotes the winning key into
+    /// the hole with single stores instead of a three-move swap. Payloads
+    /// still swap — they are pointer-sized and carry no ordering.
+    fn trickle_down<const MIN: bool>(&mut self, mut i: usize) {
+        let ranks = &mut self.ranks;
+        let seqs = &mut self.seqs;
+        let items = &mut self.items;
+        let len = ranks.len();
+        debug_assert!(i < len);
+        let (mut rk, mut sk) = (ranks[i], seqs[i]);
+        // `beats` of the element at `$c` over the sinking (hole) key.
+        macro_rules! cand_beats_sunk {
+            ($c:expr) => {{
+                let rc = ranks[$c];
+                if rc != rk {
+                    if MIN {
+                        rc < rk
+                    } else {
+                        rc > rk
+                    }
+                } else {
+                    let sc = seqs[$c];
+                    if MIN {
+                        sc < sk
+                    } else {
+                        sc > sk
+                    }
+                }
+            }};
+        }
+        loop {
+            let fc = 2 * i + 1; // first child
+            if fc >= len {
+                break;
+            }
+            // Best among both children and all four grandchildren.
+            let g4 = 4 * i + 6; // last grandchild
+            let mut m = fc;
+            if g4 < len {
+                // Full fan-out: all six candidates exist.
+                for c in [fc + 1, 4 * i + 3, 4 * i + 4, 4 * i + 5, g4] {
+                    if beats_at::<MIN>(ranks, seqs, c, m) {
+                        m = c;
+                    }
+                }
+            } else {
+                // Heap frontier: candidate indices ascend, so stop at the
+                // first one out of range.
+                for c in [fc + 1, 4 * i + 3, 4 * i + 4, 4 * i + 5] {
+                    if c >= len {
+                        break;
+                    }
+                    if beats_at::<MIN>(ranks, seqs, c, m) {
+                        m = c;
+                    }
+                }
+            }
+            if m > fc + 1 {
+                // m is a grandchild.
+                if !cand_beats_sunk!(m) {
+                    break;
+                }
+                ranks[i] = ranks[m];
+                seqs[i] = seqs[m];
+                items.swap(m, i);
+                // The sinking key may violate the hole's opposite-parity
+                // parent; if so it comes to rest at the parent, whose key
+                // continues sinking in its place.
+                let p = parent(m);
+                if cand_beats_sunk!(p) {
+                    let (rp, sp) = (ranks[p], seqs[p]);
+                    ranks[p] = rk;
+                    seqs[p] = sk;
+                    items.swap(m, p);
+                    rk = rp;
+                    sk = sp;
+                }
+                i = m;
+            } else {
+                // m is a direct child (a level of the opposite parity).
+                if cand_beats_sunk!(m) {
+                    ranks[i] = ranks[m];
+                    seqs[i] = seqs[m];
+                    items.swap(m, i);
+                    i = m;
+                }
+                break;
+            }
+        }
+        ranks[i] = rk;
+        seqs[i] = sk;
     }
 }
 
@@ -99,8 +350,79 @@ impl<T> Default for PieoQueue<T> {
     }
 }
 
+/// Reference implementations kept for differential testing and benchmarks.
+pub mod model {
+    use std::collections::BTreeMap;
+
+    /// The original `BTreeMap`-backed PIEO model: same API and semantics as
+    /// [`super::PieoQueue`], serving as the oracle in differential property
+    /// tests and as the baseline in `vertigo-bench`'s `pieo` benchmark.
+    #[derive(Debug, Clone, Default)]
+    pub struct BTreePieo<T> {
+        map: BTreeMap<(u64, u64), T>,
+        seq: u64,
+    }
+
+    impl<T> BTreePieo<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            BTreePieo {
+                map: BTreeMap::new(),
+                seq: 0,
+            }
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.map.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.map.is_empty()
+        }
+
+        /// Inserts `item` with the given rank.
+        pub fn push(&mut self, rank: u64, item: T) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.map.insert((rank, seq), item);
+        }
+
+        /// Removes and returns the smallest-rank element (FIFO on ties).
+        pub fn pop_min(&mut self) -> Option<(u64, T)> {
+            let (&key, _) = self.map.iter().next()?;
+            let item = self.map.remove(&key)?;
+            Some((key.0, item))
+        }
+
+        /// Removes and returns the largest-rank element (LIFO on ties).
+        pub fn pop_max(&mut self) -> Option<(u64, T)> {
+            let (&key, _) = self.map.iter().next_back()?;
+            let item = self.map.remove(&key)?;
+            Some((key.0, item))
+        }
+
+        /// Rank of the head (smallest) element.
+        pub fn peek_min_rank(&self) -> Option<u64> {
+            self.map.keys().next().map(|&(r, _)| r)
+        }
+
+        /// Rank of the tail (largest) element.
+        pub fn peek_max_rank(&self) -> Option<u64> {
+            self.map.keys().next_back().map(|&(r, _)| r)
+        }
+
+        /// Borrows the tail (largest-rank) element.
+        pub fn peek_max(&self) -> Option<&T> {
+            self.map.values().next_back()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::model::BTreePieo;
     use super::*;
     use proptest::prelude::*;
 
@@ -170,6 +492,17 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn iter_is_sorted_and_nondestructive() {
+        let mut q = PieoQueue::new();
+        for r in [4u64, 2, 8, 2, 6] {
+            q.push(r, r * 10);
+        }
+        let ranks: Vec<u64> = q.iter().map(|(r, _)| r).collect();
+        assert_eq!(ranks, vec![2, 2, 4, 6, 8]);
+        assert_eq!(q.len(), 5);
+    }
+
     proptest! {
         /// Heap invariant: popping min repeatedly yields a sorted sequence,
         /// popping max repeatedly yields a reverse-sorted sequence, and
@@ -183,11 +516,8 @@ mod tests {
             let mut out_min = Vec::new();
             let mut out_max = Vec::new();
             // Alternate min/max extraction to stress both ends.
-            loop {
-                match q.pop_min() {
-                    Some((r, _)) => out_min.push(r),
-                    None => break,
-                }
+            while let Some((r, _)) = q.pop_min() {
+                out_min.push(r);
                 if let Some((r, _)) = q.pop_max() {
                     out_max.push(r);
                 }
@@ -199,6 +529,98 @@ mod tests {
             for (lo, hi) in out_min.iter().zip(out_max.iter()) {
                 prop_assert!(lo <= hi);
             }
+        }
+    }
+
+    /// One step of the differential driver: the same operation applied to
+    /// the interval heap and the BTreeMap oracle must agree exactly —
+    /// including which *item* comes out, not just which rank.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Push(u64),
+        PopMin,
+        PopMax,
+        Peeks,
+    }
+
+    fn op_strategy(max_rank: u64) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..=max_rank).prop_map(Op::Push),
+            Just(Op::PopMin),
+            Just(Op::PopMax),
+            Just(Op::Peeks),
+        ]
+    }
+
+    fn run_differential(ops: &[Op]) {
+        let mut heap: PieoQueue<usize> = PieoQueue::new();
+        let mut oracle: BTreePieo<usize> = BTreePieo::new();
+        for (tag, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Push(rank) => {
+                    heap.push(rank, tag);
+                    oracle.push(rank, tag);
+                }
+                Op::PopMin => assert_eq!(heap.pop_min(), oracle.pop_min(), "op #{tag}"),
+                Op::PopMax => assert_eq!(heap.pop_max(), oracle.pop_max(), "op #{tag}"),
+                Op::Peeks => {
+                    assert_eq!(heap.peek_min_rank(), oracle.peek_min_rank(), "op #{tag}");
+                    assert_eq!(heap.peek_max_rank(), oracle.peek_max_rank(), "op #{tag}");
+                    assert_eq!(heap.peek_max(), oracle.peek_max(), "op #{tag}");
+                }
+            }
+            assert_eq!(heap.len(), oracle.len(), "op #{tag}");
+        }
+        // Drain both: remaining contents must agree element-for-element.
+        loop {
+            let (a, b) = (heap.pop_min(), oracle.pop_min());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    proptest! {
+        /// Differential check against the BTreeMap oracle over wide ranks
+        /// (ties rare): arbitrary interleavings of push/pop/peek.
+        #[test]
+        fn matches_btree_oracle_wide_ranks(
+            ops in proptest::collection::vec(op_strategy(u64::MAX), 0..400),
+        ) {
+            run_differential(&ops);
+        }
+
+        /// Differential check with ranks drawn from {0..4} so nearly every
+        /// element ties: exercises FIFO-on-min / LIFO-on-max tiebreaking.
+        #[test]
+        fn matches_btree_oracle_heavy_ties(
+            ops in proptest::collection::vec(op_strategy(3), 0..400),
+        ) {
+            run_differential(&ops);
+        }
+
+        /// Alternating pop_min/pop_max under a single shared rank: the
+        /// oldest element must come off the min end and the newest off the
+        /// max end at every step, in lockstep with the oracle.
+        #[test]
+        fn alternating_pops_under_equal_ranks(n in 0usize..120, rank in any::<u64>()) {
+            let mut heap: PieoQueue<usize> = PieoQueue::new();
+            let mut oracle: BTreePieo<usize> = BTreePieo::new();
+            for i in 0..n {
+                heap.push(rank, i);
+                oracle.push(rank, i);
+            }
+            let mut take_min = true;
+            while !oracle.is_empty() {
+                if take_min {
+                    prop_assert_eq!(heap.pop_min(), oracle.pop_min());
+                } else {
+                    prop_assert_eq!(heap.pop_max(), oracle.pop_max());
+                }
+                take_min = !take_min;
+            }
+            prop_assert!(heap.is_empty());
         }
     }
 }

@@ -32,9 +32,8 @@ fn run(n: u32, arrivals: &[u32]) -> Vec<(u32, DeliverReason)> {
     let flow = FlowId(1);
     let mut out = Vec::new();
     let mut delivered = Vec::new();
-    let mut now = SimTime::ZERO;
     for (i, &k) in arrivals.iter().enumerate() {
-        now = SimTime::from_micros(i as u64 + 1);
+        let now = SimTime::from_micros(i as u64 + 1);
         // Fire any due timers first.
         while let Some(dl) = o.next_deadline() {
             if dl > now {

@@ -1,12 +1,19 @@
 //! Quick per-run timing diagnostic (not part of the reproduction).
+use vertigo_simcore::SimDuration;
 use vertigo_transport::CcKind;
 use vertigo_workload::*;
-use vertigo_simcore::SimDuration;
 
 fn main() {
     let workload = WorkloadSpec {
-        background: Some(BackgroundSpec { load: 0.50, dist: DistKind::CacheFollower }),
-        incast: Some(IncastSpec { qps: IncastSpec::qps_for_load(0.25, 10, 40_000, 32*10_000_000_000u64), scale: 10, flow_bytes: 40_000 }),
+        background: Some(BackgroundSpec {
+            load: 0.50,
+            dist: DistKind::CacheFollower,
+        }),
+        incast: Some(IncastSpec {
+            qps: IncastSpec::qps_for_load(0.25, 10, 40_000, 32 * 10_000_000_000u64),
+            scale: 10,
+            flow_bytes: 40_000,
+        }),
     };
     for cc in [CcKind::Dctcp, CcKind::Swift] {
         for sys in SystemKind::all() {
@@ -15,8 +22,15 @@ fn main() {
             spec.horizon = SimDuration::from_millis(20);
             let t0 = std::time::Instant::now();
             let out = spec.run();
-            println!("{:?}+{}: {:.2?}  flows={} drops={} defl={}", cc, sys.name(), t0.elapsed(),
-                out.report.flows_completed, out.report.drops, out.report.deflections);
+            println!(
+                "{:?}+{}: {:.2?}  flows={} drops={} defl={}",
+                cc,
+                sys.name(),
+                t0.elapsed(),
+                out.report.flows_completed,
+                out.report.drops,
+                out.report.deflections
+            );
         }
     }
 }

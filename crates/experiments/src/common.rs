@@ -115,7 +115,12 @@ impl Scale {
     /// this scale's default fan-in and flow size.
     pub fn incast_for_load(&self, load: f64) -> IncastSpec {
         IncastSpec {
-            qps: IncastSpec::qps_for_load(load, self.incast_scale, self.incast_flow, self.ls_total_bw()),
+            qps: IncastSpec::qps_for_load(
+                load,
+                self.incast_scale,
+                self.incast_flow,
+                self.ls_total_bw(),
+            ),
             scale: self.incast_scale,
             flow_bytes: self.incast_flow,
         }
@@ -131,14 +136,18 @@ pub struct Opts {
     pub seed: u64,
     /// Output directory for CSVs.
     pub outdir: PathBuf,
+    /// Sweep worker count (`--jobs N`; default: available parallelism).
+    /// `1` runs every cell inline — the sequential reference behavior.
+    pub jobs: usize,
 }
 
 impl Opts {
-    /// Parses `[--quick|--full] [--seed N] [--out DIR]` from args.
+    /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]` from args.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut scale = Scale::default_scale();
         let mut seed = 1u64;
         let mut outdir = PathBuf::from("results");
+        let mut jobs = crate::sweep::default_jobs();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -154,6 +163,16 @@ impl Opts {
                 "--out" => {
                     outdir = PathBuf::from(it.next().ok_or("--out needs a value")?);
                 }
+                "--jobs" => {
+                    jobs = it
+                        .next()
+                        .ok_or("--jobs needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad jobs: {e}"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                }
                 other => return Err(format!("unknown option: {other}")),
             }
         }
@@ -161,6 +180,7 @@ impl Opts {
             scale,
             seed,
             outdir,
+            jobs,
         })
     }
 }
@@ -274,12 +294,19 @@ mod tests {
             "7".into(),
             "--out".into(),
             "/tmp/x".into(),
+            "--jobs".into(),
+            "3".into(),
         ])
         .unwrap();
         assert_eq!(o.scale.name, "quick");
         assert_eq!(o.seed, 7);
         assert_eq!(o.outdir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.jobs, 3);
         assert!(Opts::parse(&["--bogus".into()]).is_err());
+        assert!(Opts::parse(&["--jobs".into(), "0".into()]).is_err());
+        // Default worker count follows the machine.
+        let d = Opts::parse(&[]).unwrap();
+        assert!(d.jobs >= 1);
     }
 
     #[test]

@@ -19,7 +19,13 @@ pub fn run(opts: &Opts) {
         SystemKind::Vertigo,
     ];
     let mut t = Table::new(&[
-        "load%", "system", "query_compl", "mean_qct", "drops", "rtos", "retransmits",
+        "load%",
+        "system",
+        "query_compl",
+        "mean_qct",
+        "drops",
+        "rtos",
+        "retransmits",
     ]);
     for total in [55u32, 75, 95] {
         let workload = WorkloadSpec {

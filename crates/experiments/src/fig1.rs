@@ -9,9 +9,7 @@
 
 use crate::common::{fmt_pct, fmt_secs, Opts, Table};
 use vertigo_transport::CcKind;
-use vertigo_workload::{
-    BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec,
-};
+use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Figure 1: random deflection vs. load (15% BG + incast sweep) ==\n");
@@ -22,8 +20,16 @@ pub fn run(opts: &Opts) {
         ("RandDefl+DCTCP", SystemKind::Dibs, CcKind::Dctcp),
     ];
     let mut t = Table::new(&[
-        "load%", "system", "query_compl", "mean_qct", "flow_compl", "mean_fct",
-        "goodput_gbps", "elephant_mbps", "drops", "mean_hops",
+        "load%",
+        "system",
+        "query_compl",
+        "mean_qct",
+        "flow_compl",
+        "mean_fct",
+        "goodput_gbps",
+        "elephant_mbps",
+        "drops",
+        "mean_hops",
     ]);
     for total in (25..=95).step_by(10) {
         let incast_load = (total as f64 / 100.0 - 0.15).max(0.01);

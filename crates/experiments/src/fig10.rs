@@ -2,13 +2,14 @@
 //! arrival rate rises while background load falls to compensate.
 
 use crate::common::{fmt_secs, Opts, Table};
+use crate::sweep::{run_cells, Cell};
 use vertigo_transport::CcKind;
 use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Figure 10: incast arrival-rate sweep at fixed 80% load ==\n");
-    let s = &opts.scale;
-    let mut t = Table::new(&["incast_load%", "kqps", "system", "mean_qct", "p99_fct", "drops"]);
+    let s = opts.scale;
+    let mut cells: Vec<Cell<Vec<String>>> = Vec::new();
     for incast_pct in [4u32, 8, 12, 16, 20, 24, 28] {
         let inc = s.incast_for_load(incast_pct as f64 / 100.0);
         let workload = WorkloadSpec {
@@ -23,17 +24,33 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
-            let out = spec.run();
-            let r = &out.report;
-            t.row(vec![
-                incast_pct.to_string(),
-                format!("{:.1}", inc.qps / 1000.0),
-                sys.name().to_string(),
-                fmt_secs(r.qct_mean),
-                fmt_secs(r.fct_p99),
-                r.drops.to_string(),
-            ]);
+            cells.push(Cell::new(
+                format!("fig10 incast{incast_pct}% {}", sys.name()),
+                move || {
+                    let out = spec.run();
+                    let r = &out.report;
+                    vec![
+                        incast_pct.to_string(),
+                        format!("{:.1}", inc.qps / 1000.0),
+                        sys.name().to_string(),
+                        fmt_secs(r.qct_mean),
+                        fmt_secs(r.fct_p99),
+                        r.drops.to_string(),
+                    ]
+                },
+            ));
         }
+    }
+    let mut t = Table::new(&[
+        "incast_load%",
+        "kqps",
+        "system",
+        "mean_qct",
+        "p99_fct",
+        "drops",
+    ]);
+    for row in run_cells(opts.jobs, cells) {
+        t.row(row);
     }
     t.emit(opts, "fig10");
 }

@@ -9,17 +9,26 @@ use crate::common::{fmt_pct, fmt_secs, Opts, Table};
 use vertigo_transport::CcKind;
 use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
 
+/// A named ablation: label plus the spec tweak that disables one component.
+type Variant = (&'static str, fn(&mut RunSpec));
+
 pub fn run_a(opts: &Opts) {
     println!("== Figure 11a: Vertigo ablations (50% BG + incast sweep) ==\n");
     let s = &opts.scale;
-    let variants: [(&str, fn(&mut RunSpec)); 4] = [
+    let variants: [Variant; 4] = [
         ("Vertigo", |_| {}),
         ("NoDeflection", |sp| sp.vertigo.deflection = false),
         ("NoScheduling", |sp| sp.vertigo.scheduling = false),
         ("NoOrdering", |sp| sp.vertigo.ordering = false),
     ];
     let mut t = Table::new(&[
-        "load%", "variant", "mean_qct", "mean_fct", "goodput_gbps", "drops", "reorder_rate",
+        "load%",
+        "variant",
+        "mean_qct",
+        "mean_fct",
+        "goodput_gbps",
+        "drops",
+        "reorder_rate",
     ]);
     for total in (55..=95).step_by(10) {
         let workload = WorkloadSpec {
@@ -54,7 +63,13 @@ pub fn run_a(opts: &Opts) {
 pub fn run_b(opts: &Opts) {
     println!("== Figure 11b: retransmission boosting (queries completed) ==\n");
     let s = &opts.scale;
-    let mut t = Table::new(&["bg%", "boosting", "completed_queries", "mean_qct", "retransmits"]);
+    let mut t = Table::new(&[
+        "bg%",
+        "boosting",
+        "completed_queries",
+        "mean_qct",
+        "retransmits",
+    ]);
     for bg in [0.25, 0.75] {
         let workload = WorkloadSpec {
             background: Some(BackgroundSpec {

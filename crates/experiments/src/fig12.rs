@@ -3,9 +3,7 @@
 
 use crate::common::{fmt_secs, Opts, Table};
 use vertigo_transport::CcKind;
-use vertigo_workload::{
-    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec,
-};
+use vertigo_workload::{BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Figure 12: 1FW/2FW x 1DEF/2DEF on leaf-spine and fat-tree ==\n");
@@ -69,7 +67,11 @@ pub fn run(opts: &Opts) {
                 ]);
             }
         }
-        let tag = if topo_name == "leaf-spine" { "ab" } else { "cd" };
+        let tag = if topo_name == "leaf-spine" {
+            "ab"
+        } else {
+            "cd"
+        };
         t.emit(opts, &format!("fig12{tag}_{topo_name}"));
     }
 }

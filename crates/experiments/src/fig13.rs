@@ -17,7 +17,12 @@ pub fn run(opts: &Opts) {
         incast: Some(s.incast_for_load(0.60)),
     };
     let mut t = Table::new(&[
-        "tau_us", "mean_fct", "p99_fct", "mean_qct", "ooo_timeouts", "reorder_rate",
+        "tau_us",
+        "mean_fct",
+        "p99_fct",
+        "mean_qct",
+        "ooo_timeouts",
+        "reorder_rate",
     ]);
     for tau_us in [120u64, 240, 360, 480, 600, 720, 840, 960, 1080] {
         let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, workload);

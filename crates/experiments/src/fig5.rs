@@ -2,17 +2,18 @@
 //! an incast sweep, all four systems over DCTCP.
 
 use crate::common::{fmt_secs, Opts, Table};
+use crate::sweep::{run_cells, Cell};
 use vertigo_transport::CcKind;
 use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Figure 5: systems x background load (DCTCP) ==\n");
-    let s = &opts.scale;
+    let s = opts.scale;
+    // Build the whole grid up front so all three panels share one sweep.
+    let mut cells: Vec<Cell<Vec<String>>> = Vec::new();
+    let mut panels: Vec<(u32, usize)> = Vec::new(); // (bg_pct, cell count)
     for bg_pct in [25u32, 50, 75] {
-        println!("--- panel: {bg_pct}% background load ---");
-        let mut t = Table::new(&[
-            "load%", "system", "mean_qct", "p99_qct", "mean_fct", "p99_fct", "drops",
-        ]);
+        let mut count = 0;
         let mut total = bg_pct + 10;
         let mut loads = Vec::new();
         while total <= 95 {
@@ -36,18 +37,35 @@ pub fn run(opts: &Opts) {
                 spec.topo = s.leaf_spine();
                 spec.horizon = s.horizon;
                 spec.seed = opts.seed;
-                let out = spec.run();
-                let r = &out.report;
-                t.row(vec![
-                    total.to_string(),
-                    sys.name().to_string(),
-                    fmt_secs(r.qct_mean),
-                    fmt_secs(r.qct_p99),
-                    fmt_secs(r.fct_mean),
-                    fmt_secs(r.fct_p99),
-                    r.drops.to_string(),
-                ]);
+                cells.push(Cell::new(
+                    format!("fig5 bg{bg_pct} load{total} {}", sys.name()),
+                    move || {
+                        let out = spec.run();
+                        let r = &out.report;
+                        vec![
+                            total.to_string(),
+                            sys.name().to_string(),
+                            fmt_secs(r.qct_mean),
+                            fmt_secs(r.qct_p99),
+                            fmt_secs(r.fct_mean),
+                            fmt_secs(r.fct_p99),
+                            r.drops.to_string(),
+                        ]
+                    },
+                ));
+                count += 1;
             }
+        }
+        panels.push((bg_pct, count));
+    }
+    let mut rows = run_cells(opts.jobs, cells).into_iter();
+    for (bg_pct, count) in panels {
+        println!("--- panel: {bg_pct}% background load ---");
+        let mut t = Table::new(&[
+            "load%", "system", "mean_qct", "p99_qct", "mean_fct", "p99_fct", "drops",
+        ]);
+        for row in rows.by_ref().take(count) {
+            t.row(row);
         }
         t.emit(opts, &format!("fig5_bg{bg_pct}"));
     }

@@ -3,6 +3,7 @@
 //! QCT CDF at 85 % load.
 
 use crate::common::{fmt_secs, Opts, Table};
+use crate::sweep::{run_cells, Cell};
 use vertigo_transport::CcKind;
 use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
 
@@ -16,11 +17,13 @@ const COMBOS: [(SystemKind, CcKind); 7] = [
     (SystemKind::Vertigo, CcKind::Swift),
 ];
 
+/// One cell's output: the sweep row, plus CDF rows for the 85 % column.
+type CellOut = (Vec<String>, Vec<Vec<String>>);
+
 pub fn run(opts: &Opts) {
     println!("== Figure 6: DIBS/Vertigo x TCP/DCTCP/Swift (25% BG + incast) ==\n");
-    let s = &opts.scale;
-    let mut t = Table::new(&["load%", "system", "cc", "mean_qct", "drop_rate", "queries_done"]);
-    let mut cdf_table = Table::new(&["system_cc", "qct_secs", "cum_frac"]);
+    let s = opts.scale;
+    let mut cells: Vec<Cell<CellOut>> = Vec::new();
     for total in (35..=95).step_by(10) {
         let workload = WorkloadSpec {
             background: Some(BackgroundSpec {
@@ -34,25 +37,47 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
-            let out = spec.run();
-            let r = &out.report;
-            t.row(vec![
-                total.to_string(),
-                sys.name().to_string(),
-                cc.name().to_string(),
-                fmt_secs(r.qct_mean),
-                format!("{:.2e}", r.drop_rate),
-                r.queries_completed.to_string(),
-            ]);
-            if total == 85 {
-                for (v, f) in r.qct_cdf(40).points {
-                    cdf_table.row(vec![
-                        format!("{}+{}", sys.name(), cc.name()),
-                        format!("{v:.6}"),
-                        format!("{f:.4}"),
-                    ]);
-                }
-            }
+            cells.push(Cell::new(
+                format!("fig6 load{total} {}+{}", sys.name(), cc.name()),
+                move || {
+                    let out = spec.run();
+                    let r = &out.report;
+                    let row = vec![
+                        total.to_string(),
+                        sys.name().to_string(),
+                        cc.name().to_string(),
+                        fmt_secs(r.qct_mean),
+                        format!("{:.2e}", r.drop_rate),
+                        r.queries_completed.to_string(),
+                    ];
+                    let mut cdf_rows = Vec::new();
+                    if total == 85 {
+                        for (v, f) in r.qct_cdf(40).points {
+                            cdf_rows.push(vec![
+                                format!("{}+{}", sys.name(), cc.name()),
+                                format!("{v:.6}"),
+                                format!("{f:.4}"),
+                            ]);
+                        }
+                    }
+                    (row, cdf_rows)
+                },
+            ));
+        }
+    }
+    let mut t = Table::new(&[
+        "load%",
+        "system",
+        "cc",
+        "mean_qct",
+        "drop_rate",
+        "queries_done",
+    ]);
+    let mut cdf_table = Table::new(&["system_cc", "qct_secs", "cum_frac"]);
+    for (row, cdf_rows) in run_cells(opts.jobs, cells) {
+        t.row(row);
+        for r in cdf_rows {
+            cdf_table.row(r);
         }
     }
     t.emit(opts, "fig6a");

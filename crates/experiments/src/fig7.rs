@@ -15,7 +15,14 @@ pub fn run(opts: &Opts) {
     // Incast fan-in scaled to the fat-tree size (paper: 100 of 128 hosts).
     let ft_scale = (s.ft_hosts() * 3 / 4).max(2).min(s.ft_hosts() - 1);
     let mut summary = Table::new(&[
-        "mix", "cc", "system", "flow_compl", "query_compl", "mean_fct", "mean_qct", "p99_qct",
+        "mix",
+        "cc",
+        "system",
+        "flow_compl",
+        "query_compl",
+        "mean_fct",
+        "mean_qct",
+        "p99_qct",
     ]);
     let mut cdfs = Table::new(&["mix", "cc", "system", "metric", "secs", "cum_frac"]);
     for (bg, inc) in [(0.25, 0.10), (0.50, 0.25), (0.25, 0.60)] {

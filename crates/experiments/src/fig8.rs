@@ -3,14 +3,13 @@
 //! mirroring the paper's 50→450 over 320 hosts.
 
 use crate::common::{fmt_pct, fmt_secs, Opts, Table};
+use crate::sweep::{run_cells, Cell};
 use vertigo_transport::CcKind;
-use vertigo_workload::{
-    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec,
-};
+use vertigo_workload::{BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Figure 8: incast scale sweep (50% BG, fixed QPS) ==\n");
-    let s = &opts.scale;
+    let s = opts.scale;
     let hosts = s.ls_hosts();
     // Paper sweeps 50..450 of 320 hosts (≈ 16 %..140 %, capped by cluster);
     // we sweep 10 %..75 % of hosts.
@@ -21,9 +20,7 @@ pub fn run(opts: &Opts) {
     // Fixed QPS chosen so the largest scale pushes total load to ~95 %.
     let max_scale = *scales.last().expect("nonempty");
     let qps = IncastSpec::qps_for_load(0.45, max_scale, s.incast_flow, s.ls_total_bw());
-    let mut t = Table::new(&[
-        "scale", "system", "completed_queries", "mean_qct", "mean_fct", "p99_fct",
-    ]);
+    let mut cells: Vec<Cell<Vec<String>>> = Vec::new();
     for &scale in &scales {
         let workload = WorkloadSpec {
             background: Some(BackgroundSpec {
@@ -41,17 +38,33 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
-            let out = spec.run();
-            let r = &out.report;
-            t.row(vec![
-                scale.to_string(),
-                sys.name().to_string(),
-                fmt_pct(r.query_completion_ratio()),
-                fmt_secs(r.qct_mean),
-                fmt_secs(r.fct_mean),
-                fmt_secs(r.fct_p99),
-            ]);
+            cells.push(Cell::new(
+                format!("fig8 scale{scale} {}", sys.name()),
+                move || {
+                    let out = spec.run();
+                    let r = &out.report;
+                    vec![
+                        scale.to_string(),
+                        sys.name().to_string(),
+                        fmt_pct(r.query_completion_ratio()),
+                        fmt_secs(r.qct_mean),
+                        fmt_secs(r.fct_mean),
+                        fmt_secs(r.fct_p99),
+                    ]
+                },
+            ));
         }
+    }
+    let mut t = Table::new(&[
+        "scale",
+        "system",
+        "completed_queries",
+        "mean_qct",
+        "mean_fct",
+        "p99_fct",
+    ]);
+    for row in run_cells(opts.jobs, cells) {
+        t.row(row);
     }
     t.emit(opts, "fig8");
 }

@@ -2,14 +2,13 @@
 //! over 50 % background load.
 
 use crate::common::{fmt_secs, Opts, Table};
+use crate::sweep::{run_cells, Cell};
 use vertigo_transport::CcKind;
-use vertigo_workload::{
-    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec,
-};
+use vertigo_workload::{BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Figure 9: incast flow size sweep (50% BG) ==\n");
-    let s = &opts.scale;
+    let s = opts.scale;
     // Fixed QPS: at the largest flow size (180 KB) total load hits ~95 %.
     let qps = IncastSpec::qps_for_load(0.45, s.incast_scale, 180_000, s.ls_total_bw());
     let systems: [(&str, SystemKind, CcKind); 5] = [
@@ -19,7 +18,7 @@ pub fn run(opts: &Opts) {
         ("DIBS", SystemKind::Dibs, CcKind::Dctcp),
         ("Vertigo", SystemKind::Vertigo, CcKind::Dctcp),
     ];
-    let mut t = Table::new(&["flow_kb", "system", "mean_qct", "completed_queries", "drops"]);
+    let mut cells: Vec<Cell<Vec<String>>> = Vec::new();
     for flow_kb in [1u64, 20, 40, 60, 100, 140, 180] {
         let workload = WorkloadSpec {
             background: Some(BackgroundSpec {
@@ -37,16 +36,28 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
-            let out = spec.run();
-            let r = &out.report;
-            t.row(vec![
-                flow_kb.to_string(),
-                name.to_string(),
-                fmt_secs(r.qct_mean),
-                r.queries_completed.to_string(),
-                r.drops.to_string(),
-            ]);
+            cells.push(Cell::new(format!("fig9 {flow_kb}KB {name}"), move || {
+                let out = spec.run();
+                let r = &out.report;
+                vec![
+                    flow_kb.to_string(),
+                    name.to_string(),
+                    fmt_secs(r.qct_mean),
+                    r.queries_completed.to_string(),
+                    r.drops.to_string(),
+                ]
+            }));
         }
+    }
+    let mut t = Table::new(&[
+        "flow_kb",
+        "system",
+        "mean_qct",
+        "completed_queries",
+        "drops",
+    ]);
+    for row in run_cells(opts.jobs, cells) {
+        t.row(row);
     }
     t.emit(opts, "fig9");
 }

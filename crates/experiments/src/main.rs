@@ -38,6 +38,7 @@ mod fig8;
 mod fig9;
 mod nonbursty;
 mod sec2;
+mod sweep;
 mod table2;
 mod table3;
 
@@ -45,7 +46,7 @@ use common::Opts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--quick|--full] [--seed N] [--out DIR]\n\
+        "usage: experiments <id> [--quick|--full] [--seed N] [--out DIR] [--jobs N]\n\
          ids: fig1 sec2 fig5 fig6 fig7 table2 fig8 fig9 fig10 fig11a fig11b \
          fig12 table3 fig13 nonbursty ext all"
     );
@@ -93,25 +94,33 @@ fn main() {
         "nonbursty" => nonbursty::run(&opts),
         "ext" => ext::run(&opts),
         "all" => {
-            fig1::run(&opts);
-            sec2::run(&opts);
-            fig5::run(&opts);
-            fig6::run(&opts);
-            fig7::run(&opts);
-            table2::run(&opts);
-            fig8::run(&opts);
-            fig9::run(&opts);
-            fig10::run(&opts);
-            fig11::run_a(&opts);
-            fig11::run_b(&opts);
-            fig12::run(&opts);
-            table3::run(&opts);
-            fig13::run(&opts);
-            nonbursty::run(&opts);
-            ext::run(&opts);
+            // Per-subcommand wall clock, so slow figures are easy to spot.
+            let timed = |name: &str, f: &dyn Fn(&Opts)| {
+                let t0 = std::time::Instant::now();
+                f(&opts);
+                eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+            };
+            timed("fig1", &fig1::run);
+            timed("sec2", &sec2::run);
+            timed("fig5", &fig5::run);
+            timed("fig6", &fig6::run);
+            timed("fig7", &fig7::run);
+            timed("table2", &table2::run);
+            timed("fig8", &fig8::run);
+            timed("fig9", &fig9::run);
+            timed("fig10", &fig10::run);
+            timed("fig11a", &fig11::run_a);
+            timed("fig11b", &fig11::run_b);
+            timed("fig12", &fig12::run);
+            timed("table3", &table3::run);
+            timed("fig13", &fig13::run);
+            timed("nonbursty", &nonbursty::run);
+            timed("ext", &ext::run);
         }
         "fig12" => fig12::run(&opts),
         _ => usage(),
     }
-    println!("\n[done in {:.1?}]", start.elapsed());
+    // Wall clock goes to stderr: stdout carries only the (deterministic)
+    // tables, so diffing runs at different `--jobs` is byte-exact.
+    eprintln!("[done in {:.1?}]", start.elapsed());
 }

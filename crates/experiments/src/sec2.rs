@@ -12,7 +12,13 @@ pub fn run(opts: &Opts) {
     println!("== Section 2 measurements: random deflection pathologies ==\n");
     let s = &opts.scale;
     let mut t = Table::new(&[
-        "load%", "system", "mean_hops", "reorder_rate", "drops", "mice_fct", "mean_qct",
+        "load%",
+        "system",
+        "mean_hops",
+        "reorder_rate",
+        "drops",
+        "mice_fct",
+        "mean_qct",
     ]);
     for total in [35u32, 50, 65, 80] {
         let workload = WorkloadSpec {

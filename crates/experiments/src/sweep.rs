@@ -1,0 +1,146 @@
+//! The parallel sweep engine: runs independent simulation cells across a
+//! worker pool.
+//!
+//! Every figure in the harness is a grid of *cells* — one `RunSpec::run()`
+//! per (load, system, transport, ...) combination — with no data flowing
+//! between cells: each gets its seed from the experiment options, not from
+//! a shared RNG. That makes the grid embarrassingly parallel, and this
+//! module exploits it with `std::thread::scope` (no external dependencies).
+//!
+//! ## Determinism contract
+//!
+//! Results come back in **submission order**, regardless of worker count or
+//! completion order, and each cell's closure is self-contained (its
+//! `RunSpec` carries its own seed). Consequently the table a figure prints
+//! is identical for every `--jobs` value, and `--jobs 1` executes the cells
+//! inline on the calling thread — the exact code path of the old sequential
+//! harness, byte-for-byte. Progress chatter goes to stderr only, so stdout
+//! (tables, CSV paths) stays clean and comparable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of work: a label for progress reporting plus the closure that
+/// runs the simulation and formats its result.
+pub struct Cell<R> {
+    label: String,
+    job: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Cell<R> {
+    /// Wraps a closure as a sweep cell.
+    pub fn new(label: impl Into<String>, job: impl FnOnce() -> R + Send + 'static) -> Self {
+        Cell {
+            label: label.into(),
+            job: Box::new(job),
+        }
+    }
+}
+
+/// Number of workers to use when `--jobs` is not given.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `cells` across `jobs` workers and returns their results in
+/// submission order.
+///
+/// `jobs <= 1` runs every cell inline on the calling thread, in order —
+/// the sequential reference behavior. Otherwise `min(jobs, cells)` scoped
+/// threads pull cells off a shared index counter; a panicking cell
+/// propagates the panic once the scope joins.
+pub fn run_cells<R: Send>(jobs: usize, cells: Vec<Cell<R>>) -> Vec<R> {
+    let n = cells.len();
+    if jobs <= 1 || n <= 1 {
+        return cells.into_iter().map(|c| (c.job)()).collect();
+    }
+    // Work queue: each slot is claimed exactly once via the shared counter;
+    // the Mutex exists to move the FnOnce out from behind the shared ref.
+    let slots: Vec<Mutex<Option<Cell<R>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = slots[i]
+                    .lock()
+                    .expect("no panics while holding slot lock")
+                    .take()
+                    .expect("each slot claimed exactly once");
+                let r = (cell.job)();
+                *results[i]
+                    .lock()
+                    .expect("no panics while holding result lock") = Some(r);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[sweep {finished}/{n}] {}", cell.label);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("workers have joined")
+                .expect("every slot was executed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_preserves_order() {
+        let cells: Vec<Cell<usize>> = (0..10)
+            .map(|i| Cell::new(format!("c{i}"), move || i * i))
+            .collect();
+        let out = run_cells(1, cells);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_order() {
+        // Deliberately uneven work so completion order differs from
+        // submission order; results must still come back in submission order.
+        let make = || -> Vec<Cell<usize>> {
+            (0..32)
+                .map(|i| {
+                    Cell::new(format!("c{i}"), move || {
+                        let mut acc = i as u64;
+                        for _ in 0..((31 - i) * 10_000) {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        }
+                        std::hint::black_box(acc);
+                        i
+                    })
+                })
+                .collect()
+        };
+        let seq = run_cells(1, make());
+        for jobs in [2, 4, 8] {
+            assert_eq!(run_cells(jobs, make()), seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let cells: Vec<Cell<u32>> = (0..3).map(|i| Cell::new("tiny", move || i)).collect();
+        assert_eq!(run_cells(64, cells), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty() {
+        let out: Vec<()> = run_cells(8, Vec::new());
+        assert!(out.is_empty());
+    }
+}

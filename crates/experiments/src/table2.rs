@@ -3,12 +3,13 @@
 //! leaf-spine.
 
 use crate::common::{fmt_pct, Opts, Table};
+use crate::sweep::{run_cells, Cell};
 use vertigo_transport::CcKind;
 use vertigo_workload::{BackgroundSpec, DistKind, RunSpec, SystemKind, WorkloadSpec};
 
 pub fn run(opts: &Opts) {
     println!("== Table 2: completion ratios at 75% load (50% BG + 25% incast) ==\n");
-    let s = &opts.scale;
+    let s = opts.scale;
     let workload = WorkloadSpec {
         background: Some(BackgroundSpec {
             load: 0.50,
@@ -16,21 +17,30 @@ pub fn run(opts: &Opts) {
         }),
         incast: Some(s.incast_for_load(0.25)),
     };
-    let mut t = Table::new(&["cc", "system", "flow_completion", "query_completion"]);
+    let mut cells: Vec<Cell<Vec<String>>> = Vec::new();
     for cc in [CcKind::Dctcp, CcKind::Swift] {
         for sys in [SystemKind::Ecmp, SystemKind::Dibs, SystemKind::Vertigo] {
             let mut spec = RunSpec::new(sys, cc, workload);
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
-            let out = spec.run();
-            t.row(vec![
-                cc.name().to_string(),
-                sys.name().to_string(),
-                fmt_pct(out.report.flow_completion_ratio()),
-                fmt_pct(out.report.query_completion_ratio()),
-            ]);
+            cells.push(Cell::new(
+                format!("table2 {}+{}", sys.name(), cc.name()),
+                move || {
+                    let out = spec.run();
+                    vec![
+                        cc.name().to_string(),
+                        sys.name().to_string(),
+                        fmt_pct(out.report.flow_completion_ratio()),
+                        fmt_pct(out.report.query_completion_ratio()),
+                    ]
+                },
+            ));
         }
+    }
+    let mut t = Table::new(&["cc", "system", "flow_completion", "query_completion"]);
+    for row in run_cells(opts.jobs, cells) {
+        t.row(row);
     }
     t.emit(opts, "table2");
 }

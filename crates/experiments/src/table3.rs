@@ -10,7 +10,11 @@ pub fn run(opts: &Opts) {
     println!("== Table 3: SRPT vs LAS marking (mean QCT) ==\n");
     let s = &opts.scale;
     let mut t = Table::new(&[
-        "load%", "DCTCP+ECMP", "DCTCP+DIBS", "Vertigo-SRPT", "Vertigo-LAS",
+        "load%",
+        "DCTCP+ECMP",
+        "DCTCP+DIBS",
+        "Vertigo-SRPT",
+        "Vertigo-LAS",
     ]);
     for total in (55..=95).step_by(10) {
         let workload = WorkloadSpec {

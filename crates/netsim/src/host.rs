@@ -18,7 +18,7 @@ use crate::events::{Ctx, Event};
 use crate::link::LinkParams;
 use std::collections::{BTreeMap, VecDeque};
 use vertigo_core::{Delivered, MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
-use vertigo_pkt::{FlowId, NodeId, Packet, PacketKind, PortId, QueryId};
+use vertigo_pkt::{pool, FlowId, NodeId, Packet, PacketKind, PortId, QueryId};
 use vertigo_simcore::SimTime;
 use vertigo_stats::DropCause;
 use vertigo_transport::{FlowReceiver, FlowSender, TransportConfig};
@@ -204,19 +204,11 @@ impl Host {
                 self.on_trim_notice(pkt, ctx);
             }
             PacketKind::Data(_) => {
-                if self.ordering.is_some() && pkt.flowinfo.is_some() {
-                    let info = pkt.flowinfo.expect("checked");
+                if let (Some(ordering), Some(info)) = (self.ordering.as_mut(), pkt.flowinfo) {
                     let seg = *pkt.data_seg().expect("data packet");
                     let flow = pkt.flow;
                     let mut out = std::mem::take(&mut self.deliveries);
-                    self.ordering.as_mut().expect("checked").on_packet(
-                        ctx.now,
-                        flow,
-                        info,
-                        seg.payload,
-                        pkt,
-                        &mut out,
-                    );
+                    ordering.on_packet(ctx.now, flow, info, seg.payload, pkt, &mut out);
                     for d in out.drain(..) {
                         self.deliver_data(d.item, ctx);
                     }
@@ -245,6 +237,7 @@ impl Host {
                         m.complete_flow(pkt.flow);
                     }
                 }
+                pool::recycle(pkt);
                 self.pump(ctx);
             }
         }
@@ -266,8 +259,11 @@ impl Host {
         let ack = st.recv.on_trim(ctx.now, pkt.ecn.is_ce(), pkt.sent_at);
         let src = st.src;
         let query = st.query;
+        pool::recycle(pkt);
         self.uid += 1;
-        let ack_pkt = Box::new(Packet::ack(self.uid, flow, query, self.id, src, ack, ctx.now));
+        let ack_pkt = pool::boxed(Packet::ack(
+            self.uid, flow, query, self.id, src, ack, ctx.now,
+        ));
         self.enqueue_nic(ack_pkt, ctx);
     }
 
@@ -286,6 +282,7 @@ impl Host {
         });
         let was_complete = st.recv.is_complete();
         let ack = st.recv.on_data(ctx.now, &seg, pkt.ecn.is_ce(), pkt.sent_at);
+        pool::recycle(pkt);
         // Export reorder and goodput deltas.
         let reorders = st.recv.stats().reorder_events;
         ctx.rec.transport_reorders += reorders - st.reported_reorders;
@@ -302,13 +299,18 @@ impl Host {
                 // LAS flows (and any stragglers) are purged explicitly.
                 let mut out = std::mem::take(&mut self.deliveries);
                 o.purge_flow(flow, &mut out);
-                out.clear(); // flow is complete; buffered leftovers are dups
+                // Flow is complete; buffered leftovers are dups.
+                for d in out.drain(..) {
+                    pool::recycle(d.item);
+                }
                 self.deliveries = out;
             }
         }
         // ACK back to the data sender.
         self.uid += 1;
-        let ack_pkt = Box::new(Packet::ack(self.uid, flow, query, self.id, src, ack, ctx.now));
+        let ack_pkt = pool::boxed(Packet::ack(
+            self.uid, flow, query, self.id, src, ack, ctx.now,
+        ));
         self.enqueue_nic(ack_pkt, ctx);
     }
 
@@ -354,7 +356,7 @@ impl Host {
                 let dst = st.dst;
                 let query = st.query;
                 self.uid += 1;
-                let mut pkt = Box::new(Packet::data(
+                let mut pkt = pool::boxed(Packet::data(
                     self.uid, flow, query, self.id, dst, seg, ecn, ctx.now,
                 ));
                 if let Some(m) = &mut self.marking {
@@ -373,6 +375,7 @@ impl Host {
     fn enqueue_nic(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
         if self.nic_bytes + pkt.wire_size as u64 > self.cfg.nic_buffer_bytes {
             ctx.rec.on_drop(DropCause::HostQueue, pkt.wire_size);
+            pool::recycle(pkt);
             return;
         }
         self.nic_bytes += pkt.wire_size as u64;
@@ -393,16 +396,15 @@ impl Host {
         // NIC hardware timestamping).
         pkt.sent_at = ctx.now;
         let ser = self.link.tx_time(pkt.wire_size);
-        let arrive = ctx.now + ser + self.link.prop_delay;
-        ctx.events.push(
-            ctx.now + ser,
+        ctx.events.push_after(
+            ser,
             Event::TxDone {
                 node: self.id,
                 port: PortId(0),
             },
         );
-        ctx.events.push(
-            arrive,
+        ctx.events.push_after(
+            ser + self.link.prop_delay,
             Event::Arrive {
                 node: self.peer,
                 port: self.peer_port,
@@ -435,7 +437,7 @@ impl Host {
         }
         if let Some(d) = next {
             let d = d.max(ctx.now);
-            if self.wake_scheduled.map_or(true, |w| w > d) {
+            if self.wake_scheduled.is_none_or(|w| w > d) {
                 self.wake_scheduled = Some(d);
                 ctx.events.push(d, Event::HostTimer { node: self.id });
             }

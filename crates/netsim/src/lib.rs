@@ -31,5 +31,7 @@ pub use policy::{BufferPolicy, ForwardPolicy, SwitchConfig};
 pub use queue::PortQueue;
 pub use sim::{SimConfig, Simulation, TopologySpec};
 pub use switch::{Port, Switch};
-pub use telemetry::{detect_bursts, Episode, IntervalClass, Telemetry, TelemetryConfig, TelemetrySample};
+pub use telemetry::{
+    detect_bursts, Episode, IntervalClass, Telemetry, TelemetryConfig, TelemetrySample,
+};
 pub use topology::Topology;

@@ -72,19 +72,25 @@ impl PortQueue {
     }
 
     /// Whether `pkt` fits within `capacity` bytes.
+    ///
+    /// Overflow-safe: a sum that exceeds `u64::MAX` cannot fit in any
+    /// capacity, so `checked_add` returning `None` means "does not fit"
+    /// (a plain `+` would wrap in release builds and spuriously accept).
     pub fn fits(&self, pkt: &Packet, capacity: u64) -> bool {
-        self.bytes() + pkt.wire_size as u64 <= capacity
+        self.bytes()
+            .checked_add(pkt.wire_size as u64)
+            .is_some_and(|total| total <= capacity)
     }
 
     /// Enqueues unconditionally (caller enforces capacity policy).
     pub fn push(&mut self, pkt: Box<Packet>) {
         match self {
             PortQueue::Fifo(f) => {
-                f.bytes += pkt.wire_size as u64;
+                f.bytes = f.bytes.saturating_add(pkt.wire_size as u64);
                 f.q.push_back(pkt);
             }
             PortQueue::Prio(p) => {
-                p.bytes += pkt.wire_size as u64;
+                p.bytes = p.bytes.saturating_add(pkt.wire_size as u64);
                 let rank = pkt.rank(p.boost_shift);
                 p.q.push(rank, pkt);
             }
@@ -96,12 +102,12 @@ impl PortQueue {
         match self {
             PortQueue::Fifo(f) => {
                 let pkt = f.q.pop_front()?;
-                f.bytes -= pkt.wire_size as u64;
+                f.bytes = f.bytes.saturating_sub(pkt.wire_size as u64);
                 Some(pkt)
             }
             PortQueue::Prio(p) => {
                 let (_, pkt) = p.q.pop_min()?;
-                p.bytes -= pkt.wire_size as u64;
+                p.bytes = p.bytes.saturating_sub(pkt.wire_size as u64);
                 Some(pkt)
             }
         }
@@ -114,12 +120,12 @@ impl PortQueue {
         match self {
             PortQueue::Fifo(f) => {
                 let pkt = f.q.pop_back()?;
-                f.bytes -= pkt.wire_size as u64;
+                f.bytes = f.bytes.saturating_sub(pkt.wire_size as u64);
                 Some(pkt)
             }
             PortQueue::Prio(p) => {
                 let (_, pkt) = p.q.pop_max()?;
-                p.bytes -= pkt.wire_size as u64;
+                p.bytes = p.bytes.saturating_sub(pkt.wire_size as u64);
                 Some(pkt)
             }
         }
@@ -153,7 +159,7 @@ mod tests {
                 payload,
                 flow_bytes: rfs as u64,
                 retransmit: false,
-            trimmed: false,
+                trimmed: false,
             },
             true,
             SimTime::ZERO,
@@ -208,6 +214,25 @@ mod tests {
         let p = pkt(1, 100, 1000); // wire = 1048
         assert!(q.fits(&p, 1048));
         assert!(!q.fits(&p, 1047));
+    }
+
+    #[test]
+    fn fits_does_not_overflow_near_u64_max() {
+        // A queue whose byte counter sits near u64::MAX must report "does
+        // not fit" rather than wrapping bytes() + wire_size around zero.
+        let q = PortQueue::Fifo(FifoQueue {
+            q: VecDeque::new(),
+            bytes: u64::MAX - 100,
+        });
+        let p = pkt(1, 100, 1000); // wire = 1048 > 100 headroom
+        assert!(
+            !q.fits(&p, u64::MAX),
+            "wrapped sum must not pass as fitting"
+        );
+        assert!(!q.fits(&p, 1_000_000));
+        // And a genuinely fitting packet at extreme capacity still passes.
+        let empty = PortQueue::fifo();
+        assert!(empty.fits(&p, u64::MAX));
     }
 
     #[test]

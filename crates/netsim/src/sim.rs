@@ -93,6 +93,10 @@ pub struct SimConfig {
     pub seed: u64,
 }
 
+// The arena holds at most a few hundred nodes, so the per-slot padding the
+// size difference costs is trivial, while boxing the large variant would put
+// a pointer chase on the per-event dispatch path.
+#[allow(clippy::large_enum_variant)]
 enum Node {
     Host(Host),
     Switch(Switch),
@@ -132,7 +136,7 @@ impl Simulation {
                 cfg.host.clone(),
             )));
         }
-        for s in 0..topo.switches {
+        for (s, switch_routes) in routes.iter().enumerate().take(topo.switches) {
             let id = NodeId((topo.hosts + s) as u32);
             let ports: Vec<Port> = topo.adj[id.index()]
                 .iter()
@@ -158,7 +162,7 @@ impl Simulation {
                 id,
                 cfg.switch,
                 ports,
-                routes[s].clone(),
+                switch_routes.clone(),
                 salt,
             )));
         }
@@ -267,11 +271,9 @@ impl Simulation {
             telemetry,
             ..
         } = self;
-        while let Some(t) = events.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (now, ev) = events.pop().expect("peeked");
+        // Combined peek-then-pop: one heap access per iteration, and events
+        // beyond the horizon stay queued.
+        while let Some((now, ev)) = events.pop_until(horizon) {
             let mut ctx = Ctx {
                 now,
                 events,

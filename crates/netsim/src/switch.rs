@@ -5,7 +5,7 @@ use crate::events::{Ctx, Event};
 use crate::link::LinkParams;
 use crate::policy::{BufferPolicy, ForwardPolicy, SwitchConfig};
 use crate::queue::PortQueue;
-use vertigo_pkt::{ecmp_hash, NodeId, Packet, PortId, MAX_HOPS};
+use vertigo_pkt::{ecmp_hash, pool, NodeId, Packet, PortId, MAX_HOPS};
 use vertigo_stats::DropCause;
 
 /// One output port: queue, link, and transmit state.
@@ -79,7 +79,11 @@ impl Switch {
 
     /// Largest single-port occupancy right now.
     pub fn busiest_port_bytes(&self) -> u64 {
-        self.ports.iter().map(|p| p.queue.bytes()).max().unwrap_or(0)
+        self.ports
+            .iter()
+            .map(|p| p.queue.bytes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Handles a packet arriving on `in_port`.
@@ -87,6 +91,7 @@ impl Switch {
         pkt.hops += 1;
         if pkt.hops > MAX_HOPS {
             ctx.rec.on_drop(DropCause::TtlExceeded, pkt.wire_size);
+            pool::recycle(pkt);
             return;
         }
         let dst = pkt.dst.index();
@@ -95,6 +100,7 @@ impl Switch {
             Some(p) => p,
             None => {
                 ctx.rec.on_drop(DropCause::TtlExceeded, pkt.wire_size);
+                pool::recycle(pkt);
                 return;
             }
         };
@@ -126,8 +132,7 @@ impl Switch {
                         }
                     }
                     if let Some(m) = self.drill_best[dst] {
-                        if cands.contains(&m) && self.ports[m as usize].queue.bytes() < best_bytes
-                        {
+                        if cands.contains(&m) && self.ports[m as usize].queue.bytes() < best_bytes {
                             best = Some(m);
                         }
                     }
@@ -165,18 +170,27 @@ impl Switch {
     }
 
     /// Enqueues `pkt` on `out`, applying the overflow policy when full.
-    fn enqueue_with_policy(&mut self, out: u16, in_port: PortId, mut pkt: Box<Packet>, ctx: &mut Ctx) {
+    fn enqueue_with_policy(
+        &mut self,
+        out: u16,
+        in_port: PortId,
+        mut pkt: Box<Packet>,
+        ctx: &mut Ctx,
+    ) {
         let cap = self.cfg.port_buffer_bytes;
         if self.ports[out as usize].queue.fits(&pkt, cap) {
             Self::maybe_mark_ecn(&self.cfg, &self.ports[out as usize].queue, &mut pkt, ctx);
             self.ports[out as usize].queue.push(pkt);
-            self.max_port_bytes = self.max_port_bytes.max(self.ports[out as usize].queue.bytes());
+            self.max_port_bytes = self
+                .max_port_bytes
+                .max(self.ports[out as usize].queue.bytes());
             self.start_tx(out, ctx);
             return;
         }
         match self.cfg.buffer {
             BufferPolicy::DropTail => {
                 ctx.rec.on_drop(DropCause::QueueFull, pkt.wire_size);
+                pool::recycle(pkt);
             }
             BufferPolicy::NdpTrim => {
                 // Trim the payload and enqueue the header stub as an
@@ -198,10 +212,12 @@ impl Switch {
                     }
                 }
                 ctx.rec.on_drop(DropCause::QueueFull, pkt.wire_size);
+                pool::recycle(pkt);
             }
             BufferPolicy::Dibs { max_deflections } => {
                 if pkt.deflections >= max_deflections {
                     ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
+                    pool::recycle(pkt);
                     return;
                 }
                 // Random port with space (excluding the full output and
@@ -213,6 +229,7 @@ impl Switch {
                     .collect();
                 if with_space.is_empty() {
                     ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
+                    pool::recycle(pkt);
                     return;
                 }
                 let p = with_space[ctx.rng.index(with_space.len())];
@@ -246,6 +263,7 @@ impl Switch {
                 for victim in victims {
                     if !deflection {
                         ctx.rec.on_drop(DropCause::QueueFull, victim.wire_size);
+                        pool::recycle(victim);
                         continue;
                     }
                     self.deflect_victim(victim, out, deflect_power, ctx);
@@ -273,11 +291,18 @@ impl Switch {
 
     /// Vertigo deflection: power-of-n placement; on total congestion force
     /// the victim in and drop the worst-ranked packet (paper footnote 5).
-    fn deflect_victim(&mut self, mut victim: Box<Packet>, full_port: u16, power: usize, ctx: &mut Ctx) {
+    fn deflect_victim(
+        &mut self,
+        mut victim: Box<Packet>,
+        full_port: u16,
+        power: usize,
+        ctx: &mut Ctx,
+    ) {
         let cap = self.cfg.port_buffer_bytes;
         let cands = self.deflect_candidates(full_port, victim.dst);
         if cands.is_empty() {
             ctx.rec.on_drop(DropCause::DeflectionFull, victim.wire_size);
+            pool::recycle(victim);
             return;
         }
         let k = power.max(1).min(cands.len());
@@ -315,7 +340,9 @@ impl Switch {
         q.push(victim);
         while q.bytes() > cap {
             let dropped = q.evict_worst().expect("nonempty over-capacity queue");
-            ctx.rec.on_drop(DropCause::DeflectionFull, dropped.wire_size);
+            ctx.rec
+                .on_drop(DropCause::DeflectionFull, dropped.wire_size);
+            pool::recycle(dropped);
         }
         self.start_tx(forced, ctx);
     }
@@ -331,16 +358,15 @@ impl Switch {
         };
         p.busy = true;
         let ser = p.link.tx_time(pkt.wire_size);
-        let arrive_at = ctx.now + ser + p.link.prop_delay;
-        ctx.events.push(
-            ctx.now + ser,
+        ctx.events.push_after(
+            ser,
             Event::TxDone {
                 node: self.id,
                 port: PortId(port),
             },
         );
-        ctx.events.push(
-            arrive_at,
+        ctx.events.push_after(
+            ser + p.link.prop_delay,
             Event::Arrive {
                 node: p.peer,
                 port: p.peer_port,

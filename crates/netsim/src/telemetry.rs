@@ -176,10 +176,10 @@ mod tests {
     #[test]
     fn microburst_vs_persistent_classification() {
         let series = vec![
-            sample(100, 0, 0),   // quiet
-            sample(200, 500, 0), // microburst (deflections, no drops)
-            sample(300, 400, 1), // still microburst (within tolerance)
-            sample(400, 0, 0),   // quiet
+            sample(100, 0, 0),    // quiet
+            sample(200, 500, 0),  // microburst (deflections, no drops)
+            sample(300, 400, 1),  // still microburst (within tolerance)
+            sample(400, 0, 0),    // quiet
             sample(500, 900, 80), // persistent (drops)
             sample(600, 800, 90),
         ];

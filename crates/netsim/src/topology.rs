@@ -59,9 +59,7 @@ impl Topology {
     /// Aggregate host-facing capacity in bits per second (the load
     /// denominator used throughout the paper's "% aggregate network load").
     pub fn total_host_bw_bps(&self) -> u64 {
-        (0..self.hosts)
-            .map(|h| self.adj[h][0].1.rate_bps)
-            .sum()
+        (0..self.hosts).map(|h| self.adj[h][0].1.rate_bps).sum()
     }
 
     /// Internal consistency check: symmetric adjacency with matching link
@@ -112,9 +110,9 @@ impl Topology {
         let spine_id = |s: usize| NodeId((hosts + leaves + s) as u32);
 
         let mut adj: Vec<Vec<(NodeId, LinkParams)>> = vec![Vec::new(); hosts + switches];
-        for h in 0..hosts {
+        for (h, nbrs) in adj.iter_mut().enumerate().take(hosts) {
             let l = h / hosts_per_leaf;
-            adj[h].push((leaf_id(l), host_link));
+            nbrs.push((leaf_id(l), host_link));
         }
         for l in 0..leaves {
             let li = leaf_id(l).index();
@@ -144,7 +142,7 @@ impl Topology {
     /// Builds a k-ary fat-tree (Al-Fares et al.): `k` pods of `k/2` edge and
     /// `k/2` aggregation switches, `(k/2)²` cores, `k³/4` hosts.
     pub fn fat_tree(k: usize, link: LinkParams) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k");
         let half = k / 2;
         let hosts = k * k * k / 4;
         let switches = k * k + half * half;
@@ -154,10 +152,10 @@ impl Topology {
 
         let mut adj: Vec<Vec<(NodeId, LinkParams)>> = vec![Vec::new(); hosts + switches];
         let hosts_per_pod = half * half;
-        for h in 0..hosts {
+        for (h, nbrs) in adj.iter_mut().enumerate().take(hosts) {
             let p = h / hosts_per_pod;
             let e = (h % hosts_per_pod) / half;
-            adj[h].push((edge_id(p, e), link));
+            nbrs.push((edge_id(p, e), link));
         }
         for p in 0..k {
             for e in 0..half {
@@ -232,14 +230,14 @@ impl Topology {
                 .or_insert_with(|| self.switch_dists(a));
         }
         let mut routes = vec![vec![Vec::new(); self.hosts]; self.switches];
-        for s in 0..self.switches {
+        for (s, to_hosts) in routes.iter_mut().enumerate() {
             let sw = NodeId((self.hosts + s) as u32);
-            for h in 0..self.hosts {
+            for (h, ports) in to_hosts.iter_mut().enumerate() {
                 let host = NodeId(h as u32);
                 let access = self.access_switch(host);
                 if sw == access {
                     let p = self.port_to(sw, host).expect("host attached");
-                    routes[s][h].push(p.0);
+                    ports.push(p.0);
                     continue;
                 }
                 let dist = &dists_by_access[&access];
@@ -252,7 +250,7 @@ impl Topology {
                         continue;
                     }
                     if dist[peer.index()] == my_d - 1 {
-                        routes[s][h].push(pi as u16);
+                        ports.push(pi as u16);
                     }
                 }
             }
@@ -266,7 +264,13 @@ mod tests {
     use super::*;
 
     fn ls() -> Topology {
-        Topology::leaf_spine(4, 8, 5, LinkParams::gbps(10, 500), LinkParams::gbps(40, 500))
+        Topology::leaf_spine(
+            4,
+            8,
+            5,
+            LinkParams::gbps(10, 500),
+            LinkParams::gbps(40, 500),
+        )
     }
 
     #[test]
@@ -357,12 +361,9 @@ mod tests {
         let r = &routes[edge0.index() - t.hosts][h_far];
         assert_eq!(r.len(), 2);
         // Every switch can reach every host.
-        for s in 0..t.switches {
-            for h in 0..t.hosts {
-                assert!(
-                    !routes[s][h].is_empty(),
-                    "switch {s} has no route to host {h}"
-                );
+        for (s, to_hosts) in routes.iter().enumerate() {
+            for (h, ports) in to_hosts.iter().enumerate() {
+                assert!(!ports.is_empty(), "switch {s} has no route to host {h}");
             }
         }
     }
@@ -374,6 +375,7 @@ mod tests {
         // pair in a k=4 fat-tree.
         let t = Topology::fat_tree(4, LinkParams::gbps(10, 500));
         let routes = t.switch_routes();
+        #[allow(clippy::needless_range_loop)] // `routes` is re-indexed by `cur`, not `s`
         for s in 0..t.switches {
             for h in 0..t.hosts {
                 let mut cur = NodeId((t.hosts + s) as u32);

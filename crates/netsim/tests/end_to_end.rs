@@ -1,9 +1,7 @@
 //! End-to-end simulator tests: whole flows over whole networks, all four
 //! switch policies, all three transports, both topologies.
 
-use vertigo_netsim::{
-    BufferPolicy, HostConfig, LinkParams, SimConfig, Simulation, SwitchConfig, TopologySpec,
-};
+use vertigo_netsim::{HostConfig, LinkParams, SimConfig, Simulation, SwitchConfig, TopologySpec};
 use vertigo_pkt::{NodeId, QueryId};
 use vertigo_simcore::{SimDuration, SimTime};
 use vertigo_transport::{CcKind, TransportConfig};
@@ -67,13 +65,7 @@ fn single_flow_completes_with_sane_fct() {
 fn intra_rack_flow_takes_one_hop() {
     let cfg = base_cfg(SwitchConfig::ecmp(), dctcp_host());
     let mut sim = Simulation::new(&cfg);
-    sim.schedule_flow(
-        SimTime::ZERO,
-        NodeId(0),
-        NodeId(1),
-        50_000,
-        QueryId::NONE,
-    );
+    sim.schedule_flow(SimTime::ZERO, NodeId(0), NodeId(1), 50_000, QueryId::NONE);
     let rep = sim.run();
     assert_eq!(rep.flows_completed, 1);
     assert!((rep.mean_hops - 1.0).abs() < 0.01);
@@ -82,20 +74,15 @@ fn intra_rack_flow_takes_one_hop() {
 #[test]
 fn identical_seeds_are_bit_identical() {
     let mk = || {
-        let cfg = base_cfg(SwitchConfig::vertigo(), HostConfig::vertigo(
-            TransportConfig::default_for(CcKind::Dctcp),
-        ));
+        let cfg = base_cfg(
+            SwitchConfig::vertigo(),
+            HostConfig::vertigo(TransportConfig::default_for(CcKind::Dctcp)),
+        );
         let mut sim = Simulation::new(&cfg);
         // A busy pattern: incast plus background.
         let q = sim.register_query(8, SimTime::from_micros(5));
         for i in 0..8u32 {
-            sim.schedule_flow(
-                SimTime::from_micros(5),
-                NodeId(i + 1),
-                NodeId(0),
-                40_000,
-                q,
-            );
+            sim.schedule_flow(SimTime::from_micros(5), NodeId(i + 1), NodeId(0), 40_000, q);
         }
         for i in 0..6u32 {
             sim.schedule_flow(
@@ -232,12 +219,9 @@ fn all_transports_complete_flows() {
         }
         let rep = sim.run();
         assert_eq!(
-            rep.flows_completed,
-            4,
+            rep.flows_completed, 4,
             "{:?}: all flows must complete ({} rtos, {} drops)",
-            cc,
-            rep.rtos,
-            rep.drops
+            cc, rep.rtos, rep.drops
         );
     }
 }
@@ -262,15 +246,13 @@ fn fat_tree_end_to_end() {
     for i in 0..5u32 {
         sim.schedule_flow(SimTime::ZERO, NodeId(10 + i), NodeId(0), 40_000, q);
     }
-    sim.schedule_flow(
-        SimTime::ZERO,
-        NodeId(4),
-        NodeId(12),
-        500_000,
-        QueryId::NONE,
-    );
+    sim.schedule_flow(SimTime::ZERO, NodeId(4), NodeId(12), 500_000, QueryId::NONE);
     let rep = sim.run();
-    assert_eq!(rep.flows_completed, 6, "drops={} rtos={}", rep.drops, rep.rtos);
+    assert_eq!(
+        rep.flows_completed, 6,
+        "drops={} rtos={}",
+        rep.drops, rep.rtos
+    );
     assert_eq!(rep.queries_completed, 1);
     // Cross-pod shortest path in a fat-tree: edge-agg-core-agg-edge = 5.
     assert!(rep.mean_hops >= 4.0 && rep.mean_hops < 6.5);

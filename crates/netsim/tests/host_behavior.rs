@@ -146,14 +146,23 @@ fn rx_path_receives_and_acks() {
     assert_eq!(last.cum_ack, 2 * 1460);
     assert_eq!(h.rec.data_delivered, 2);
     assert_eq!(h.rec.goodput_bytes, 2 * 1460);
-    assert!(h.rec.flows.is_empty(), "receiver side does not own the flow record");
+    assert!(
+        h.rec.flows.is_empty(),
+        "receiver side does not own the flow record"
+    );
 }
 
 #[test]
 fn ack_arrival_opens_the_window() {
     let mut h = Harness::new();
     let mut host = vertigo_host();
-    host.start_flow(FlowId(1), PEER_HOST, 100 * 1460, QueryId::NONE, &mut h.ctx());
+    host.start_flow(
+        FlowId(1),
+        PEER_HOST,
+        100 * 1460,
+        QueryId::NONE,
+        &mut h.ctx(),
+    );
     let first = h.drain_tx(&mut host);
     assert_eq!(first.len(), 10);
     // ACK for the first segment arrives.

@@ -169,6 +169,7 @@ pub struct Packet {
 impl Packet {
     /// Builds a data packet. Wire size excludes flowinfo; the marking
     /// component adds [`FLOWINFO_OVERHEAD_BYTES`] when it tags the packet.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire header fields
     pub fn data(
         uid: u64,
         flow: FlowId,

@@ -5,7 +5,7 @@
 //! ties), which makes whole simulations bit-reproducible for a given seed —
 //! a property the test suite asserts end to end.
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -82,10 +82,40 @@ impl<E> EventQueue<E> {
         self.heap.push(Reverse(Entry { at, seq, ev }));
     }
 
+    /// Schedules `ev` for `delay` after the current clock.
+    ///
+    /// The hot scheduling sites all compute `now + delta`; this helper folds
+    /// the addition into the queue so callers cannot accidentally use a
+    /// stale clock, and the non-negative-delay invariant holds by
+    /// construction (no past-scheduling check needed).
+    #[inline]
+    pub fn push_after(&mut self, delay: SimDuration, ev: E) {
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.ev))
+    }
+
+    /// Combined peek-then-pop: removes and returns the earliest event only
+    /// if its timestamp is at or before `limit`, advancing the clock.
+    ///
+    /// This is the main-loop fast path — one heap access instead of the
+    /// `peek_time()` + `pop()` pair, and events beyond the horizon stay
+    /// queued (the clock does not move past `limit`).
+    #[inline]
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.0.at > limit {
+            return None;
+        }
+        let Reverse(e) = self.heap.pop().expect("peeked entry exists");
         self.now = e.at;
         Some((e.at, e.ev))
     }
@@ -178,6 +208,65 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn push_after_is_relative_to_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), "first");
+        q.pop();
+        q.push_after(SimDuration::from_millis(2), "second");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(7), "second")));
+    }
+
+    #[test]
+    fn push_after_matches_push_ordering() {
+        // push(now + d) and push_after(d) must interleave identically.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for i in [7u64, 3, 3, 9, 1] {
+            let d = SimDuration::from_nanos(i);
+            a.push(a.now() + d, i);
+            b.push_after(d, i);
+        }
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), "in");
+        q.push(SimTime::from_nanos(30), "out");
+        let limit = SimTime::from_nanos(20);
+        assert_eq!(q.pop_until(limit), Some((SimTime::from_nanos(10), "in")));
+        // The later event stays queued and the clock stays put.
+        assert_eq!(q.pop_until(limit), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        // A higher limit releases it.
+        assert_eq!(
+            q.pop_until(SimTime::from_nanos(30)),
+            Some((SimTime::from_nanos(30), "out"))
+        );
+        assert_eq!(q.pop_until(SimTime::from_nanos(u64::MAX)), None);
+    }
+
+    #[test]
+    fn pop_until_ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop_until(t).unwrap().1, i);
+        }
     }
 
     #[test]

@@ -4,23 +4,40 @@
 //! DRILL/DIBS/Vertigo port sampling — draw from a single [`SimRng`] seeded
 //! from the experiment config. Independent *streams* can be forked so that,
 //! e.g., changing the workload seed does not perturb switch sampling.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64. Having no external dependency keeps the
+//! workspace buildable in offline environments, and the stream is part of
+//! the determinism contract: identical seeds produce identical simulations
+//! across platforms and builds.
 
 /// A seeded random number generator with simulation-oriented helpers.
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: expands a 64-bit seed into decorrelated state words.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator (or its root ancestor stream) was created with.
@@ -41,16 +58,26 @@ impl SimRng {
         SimRng::new(z)
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the full double mantissa, exactly uniform on [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -60,14 +87,16 @@ impl SimRng {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() on empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply range reduction (biased by < 2^-64).
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi);
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// Two *distinct* uniform indices in `[0, n)`; requires `n >= 2`.
@@ -114,7 +143,8 @@ impl SimRng {
     /// method). Used for Poisson arrival processes.
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        // 1 - uniform() lies in (0, 1], so ln() is finite.
+        let u = 1.0 - self.uniform();
         -mean * u.ln()
     }
 
@@ -167,6 +197,24 @@ mod tests {
         let mut f2 = root.fork(2);
         assert_eq!(f1.next_u64(), f1b.next_u64());
         assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_u64_stays_in_range() {
+        let mut r = SimRng::new(21);
+        for _ in 0..10_000 {
+            let v = r.range_u64(100, 200);
+            assert!((100..200).contains(&v));
+        }
     }
 
     #[test]

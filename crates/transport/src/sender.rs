@@ -244,7 +244,7 @@ impl FlowSender {
                     payload: seg.len,
                     flow_bytes: self.size,
                     retransmit: true,
-            trimmed: false,
+                    trimmed: false,
                 };
                 self.after_send(now);
                 return Some(out);
@@ -514,7 +514,7 @@ mod tests {
             }
             acked += MSS;
             let o = s.on_ack(now + SimDuration::from_micros(50), &ack(acked, now));
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
             if acked == 3 * MSS {
                 assert!(o.completed);
             }

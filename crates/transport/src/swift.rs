@@ -127,8 +127,8 @@ impl CongestionControl for Swift {
             }
         } else if self.can_decrease(ctx.now) {
             let excess = rtt.as_secs_f64() - target.as_secs_f64();
-            let factor = (1.0 - self.cfg.beta * (excess / rtt.as_secs_f64()))
-                .max(1.0 - self.cfg.max_mdf);
+            let factor =
+                (1.0 - self.cfg.beta * (excess / rtt.as_secs_f64())).max(1.0 - self.cfg.max_mdf);
             self.cwnd *= factor;
             self.last_decrease = Some(ctx.now);
         }

@@ -7,28 +7,29 @@
 //! sender).
 
 use proptest::prelude::*;
+use vertigo_pkt::FlowId;
 use vertigo_pkt::{AckSeg, DataSeg};
 use vertigo_simcore::{SimDuration, SimRng, SimTime};
 use vertigo_transport::{CcKind, FlowReceiver, FlowSender, RtoConfig, TransportConfig};
-use vertigo_pkt::FlowId;
 
 /// One in-flight item: a data segment or an ACK, due at `at`.
 enum InFlight {
-    Data { at: SimTime, seg: DataSeg, sent: SimTime },
-    Ack { at: SimTime, ack: AckSeg },
+    Data {
+        at: SimTime,
+        seg: DataSeg,
+        sent: SimTime,
+    },
+    Ack {
+        at: SimTime,
+        ack: AckSeg,
+    },
 }
 
 /// Drives a (sender, receiver) pair over a channel that drops each packet
 /// with probability `loss`, delays by `delay`, and delivers in order.
 /// Returns the completion time, or None if the flow did not finish within
 /// `max_steps` events (which the tests treat as a liveness failure).
-fn run_flow(
-    cc: CcKind,
-    bytes: u64,
-    loss: f64,
-    seed: u64,
-    fast_rtx: bool,
-) -> Option<SimTime> {
+fn run_flow(cc: CcKind, bytes: u64, loss: f64, seed: u64, fast_rtx: bool) -> Option<SimTime> {
     let mut cfg = TransportConfig::default_for(cc);
     cfg.fast_retransmit = fast_rtx;
     // Tight RTO bounds keep lossy runs short.
@@ -105,10 +106,7 @@ fn lossless_flows_complete_quickly() {
         let done = run_flow(cc, 500_000, 0.0, 1, true)
             .unwrap_or_else(|| panic!("{cc:?} did not complete"));
         // 500 KB with 100 µs RTT and growing windows: few ms at most.
-        assert!(
-            done < SimTime::from_millis(20),
-            "{cc:?} took {done}"
-        );
+        assert!(done < SimTime::from_millis(20), "{cc:?} took {done}");
     }
 }
 

@@ -28,9 +28,9 @@ fn build() -> Topology {
     let s1 = NodeId(11);
 
     let mut adj: Vec<Vec<(NodeId, LinkParams)>> = vec![Vec::new(); 12];
-    for h in 0..hosts {
+    for (h, nbrs) in adj.iter_mut().enumerate().take(hosts) {
         let leaf = if h < 4 { l0 } else { l1 };
-        adj[h].push((leaf, host_link));
+        nbrs.push((leaf, host_link));
     }
     for (leaf, range) in [(l0, 0..4), (l1, 4..8)] {
         for h in range {
@@ -56,7 +56,10 @@ fn build() -> Topology {
 
 fn main() {
     let topo = build();
-    println!("topology: {} ({} hosts, {} switches)", topo.name, topo.hosts, topo.switches);
+    println!(
+        "topology: {} ({} hosts, {} switches)",
+        topo.name, topo.hosts, topo.switches
+    );
 
     let mut sim = Simulation::new(&SimConfig {
         topology: TopologySpec::Custom(topo),
@@ -80,8 +83,14 @@ fn main() {
     );
 
     let report = sim.run();
-    println!("flows completed : {}/{}", report.flows_completed, report.flows_started);
-    println!("query completed : {}/{}", report.queries_completed, report.queries_started);
+    println!(
+        "flows completed : {}/{}",
+        report.flows_completed, report.flows_started
+    );
+    println!(
+        "query completed : {}/{}",
+        report.queries_completed, report.queries_started
+    );
     println!("mean FCT        : {:.3} ms", report.fct_mean * 1e3);
     println!("mean hops       : {:.2}", report.mean_hops);
     println!("drops/deflects  : {}/{}", report.drops, report.deflections);

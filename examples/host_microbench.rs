@@ -53,12 +53,22 @@ fn main() {
         let info = decode_ipv4_option(hdr).expect("decode");
         let f = FlowId((i as u64) % FLOWS);
         out.clear();
-        ordering.on_packet(SimTime::from_nanos(i as u64), f, info, MSS, i as u64, &mut out);
+        ordering.on_packet(
+            SimTime::from_nanos(i as u64),
+            f,
+            info,
+            MSS,
+            i as u64,
+            &mut out,
+        );
         delivered += out.len() as u64;
     }
     let rx = t1.elapsed();
     let rx_ns = rx.as_nanos() as f64 / PACKETS as f64;
-    assert_eq!(delivered, PACKETS, "in-order traffic passes straight through");
+    assert_eq!(
+        delivered, PACKETS,
+        "in-order traffic passes straight through"
+    );
 
     println!("host data-path microbenchmark ({PACKETS} packets, {FLOWS} flows)\n");
     println!("TX  (mark + encode) : {tx_ns:6.1} ns/pkt");

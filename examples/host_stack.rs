@@ -10,9 +10,7 @@
 //! ```
 
 use vertigo::core::flowinfo_wire::{decode_ipv4_option, encode_ipv4_option};
-use vertigo::core::{
-    MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig,
-};
+use vertigo::core::{MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
 use vertigo::pkt::{FlowId, NodeId};
 use vertigo::simcore::SimTime;
 

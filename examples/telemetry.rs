@@ -49,12 +49,19 @@ fn main() {
 
     let tel = sim.telemetry().expect("telemetry enabled");
     println!("samples: {}  (every 100 µs)", tel.samples.len());
-    println!("total drops: {}   total deflections: {}\n", report.drops, report.deflections);
+    println!(
+        "total drops: {}   total deflections: {}\n",
+        report.drops, report.deflections
+    );
 
     println!("time        queued   max-port  defl  drops  class");
     println!("----------------------------------------------------");
     let episodes = detect_bursts(&tel.samples, 10, 2);
-    for s in tel.samples.iter().filter(|s| s.deflections > 0 || s.drops > 0) {
+    for s in tel
+        .samples
+        .iter()
+        .filter(|s| s.deflections > 0 || s.drops > 0)
+    {
         let class = episodes
             .iter()
             .find(|e| e.start <= s.at && s.at <= e.end)

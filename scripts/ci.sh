@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the Vertigo reproduction workspace. Everything here must
+# pass before merging: release build, full test suite, formatting, lints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci OK"

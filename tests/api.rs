@@ -43,13 +43,7 @@ fn facade_paths_work_end_to_end() {
         horizon: SimDuration::from_millis(10),
         seed: 1,
     });
-    let flow = sim.schedule_flow(
-        SimTime::ZERO,
-        NodeId(0),
-        NodeId(9),
-        50_000,
-        QueryId::NONE,
-    );
+    let flow = sim.schedule_flow(SimTime::ZERO, NodeId(0), NodeId(9), 50_000, QueryId::NONE);
     assert_eq!(flow, FlowId(1));
     let report = sim.run();
     assert_eq!(report.flows_completed, 1);

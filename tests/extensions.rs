@@ -120,7 +120,10 @@ fn telemetry_sees_microburst_through_deflection() {
     // Interval deltas must sum back to the cumulative counter.
     let defl_sum: u64 = tel.samples.iter().map(|s| s.deflections).sum();
     assert!(defl_sum <= rep.deflections);
-    assert!(defl_sum * 10 >= rep.deflections * 9, "sampling must cover most of the run");
+    assert!(
+        defl_sum * 10 >= rep.deflections * 9,
+        "sampling must cover most of the run"
+    );
 }
 
 #[test]

@@ -159,10 +159,7 @@ fn vertigo_srpt_preserves_long_flow_progress() {
     // rate despite the mice, and even the trailing elephant makes some
     // progress (boosting keeps its retransmissions alive).
     let total: u64 = elephants.iter().sum();
-    assert!(
-        total > 10_000_000,
-        "elephant class starved: {elephants:?}"
-    );
+    assert!(total > 10_000_000, "elephant class starved: {elephants:?}");
     assert!(
         elephants.iter().all(|&d| d > 50_000),
         "an elephant made no progress at all: {elephants:?}"
