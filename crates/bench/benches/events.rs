@@ -1,0 +1,73 @@
+//! Event-queue microbenchmarks: the timing wheel against the retained
+//! binary-heap oracle, across queue depths and timestamp distributions.
+//!
+//! The workload is the simulator's steady state: the queue is prefilled
+//! to a fixed depth, then each iteration pops the earliest event and
+//! pushes a replacement, so depth stays constant and the cost measured is
+//! one full push+pop cycle. Three delay distributions bracket the
+//! simulator's regimes:
+//!
+//! * `uniform` — delays spread over a wide horizon (mixed timer wheel
+//!   levels, the heap's O(log n) worst case);
+//! * `bursty` — delays clustered within a few microseconds of now
+//!   (level 0 of the wheel; microburst regime);
+//! * `ties` — many events at the same instant (FIFO tie-break pressure,
+//!   where the heap still pays O(log n) per sift).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vertigo_simcore::{EventBackend, EventQueue, SimDuration};
+
+/// Splitmix-style step for deterministic pseudo-random delays.
+#[inline]
+fn next(r: &mut u64) -> u64 {
+    *r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *r
+}
+
+/// Delay in nanoseconds for distribution `dist` (0 = uniform, 1 = bursty,
+/// 2 = ties).
+#[inline]
+fn delay(dist: usize, r: &mut u64) -> u64 {
+    match dist {
+        // Uniform over ~16 ms: lands across wheel levels 0-3.
+        0 => next(r) % 16_000_000,
+        // Bursty: within 4 µs of now, the deflection-storm regime.
+        1 => next(r) % 4_000,
+        // Ties: everything at exactly now + 1 µs.
+        _ => 1_000,
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let dists = ["uniform", "bursty", "ties"];
+    for (di, dist) in dists.iter().enumerate() {
+        let mut g = c.benchmark_group(format!("events_{dist}"));
+        for depth in [1_000usize, 16_000, 256_000] {
+            for backend in [EventBackend::Wheel, EventBackend::Heap] {
+                let name = match backend {
+                    EventBackend::Wheel => "wheel",
+                    EventBackend::Heap => "heap",
+                };
+                g.bench_function(format!("{name}/depth{depth}"), |b| {
+                    let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+                    let mut r = 0x9E3779B97F4A7C15u64;
+                    for i in 0..depth as u64 {
+                        q.push_after(SimDuration::from_nanos(delay(di, &mut r)), i);
+                    }
+                    b.iter(|| {
+                        let popped = q.pop().expect("queue never drains");
+                        q.push_after(
+                            SimDuration::from_nanos(delay(di, &mut r)),
+                            black_box(popped.1),
+                        );
+                        black_box(popped.0)
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use vertigo_simcore::SimDuration;
+use vertigo_simcore::{EventBackend, SimDuration};
 use vertigo_workload::{IncastSpec, TopoKind};
 
 /// Scale preset for a harness invocation.
@@ -139,20 +139,32 @@ pub struct Opts {
     /// Sweep worker count (`--jobs N`; default: available parallelism).
     /// `1` runs every cell inline — the sequential reference behavior.
     pub jobs: usize,
+    /// Event-queue backend (`--events wheel|heap`). Results are identical
+    /// either way — the flag exists for A/B benchmarking.
+    pub events: EventBackend,
 }
 
 impl Opts {
-    /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]` from args.
+    /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]
+    /// [--events wheel|heap]` from args.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut scale = Scale::default_scale();
         let mut seed = 1u64;
         let mut outdir = PathBuf::from("results");
         let mut jobs = crate::sweep::default_jobs();
+        let mut events = EventBackend::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => scale = Scale::quick(),
                 "--full" => scale = Scale::full(),
+                "--events" => {
+                    events = match it.next().ok_or("--events needs a value")?.as_str() {
+                        "wheel" => EventBackend::Wheel,
+                        "heap" => EventBackend::Heap,
+                        other => return Err(format!("bad --events (wheel|heap): {other}")),
+                    };
+                }
                 "--seed" => {
                     seed = it
                         .next()
@@ -181,6 +193,7 @@ impl Opts {
             seed,
             outdir,
             jobs,
+            events,
         })
     }
 }
@@ -307,6 +320,10 @@ mod tests {
         // Default worker count follows the machine.
         let d = Opts::parse(&[]).unwrap();
         assert!(d.jobs >= 1);
+        assert_eq!(d.events, EventBackend::Wheel);
+        let h = Opts::parse(&["--events".into(), "heap".into()]).unwrap();
+        assert_eq!(h.events, EventBackend::Heap);
+        assert!(Opts::parse(&["--events".into(), "btree".into()]).is_err());
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
+            spec.event_backend = opts.events;
             let out = spec.run();
             let r = &out.report;
             t.row(vec![

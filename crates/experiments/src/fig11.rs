@@ -43,6 +43,7 @@ pub fn run_a(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
+            spec.event_backend = opts.events;
             tweak(&mut spec);
             let out = spec.run();
             let r = &out.report;
@@ -84,6 +85,7 @@ pub fn run_b(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
+            spec.event_backend = opts.events;
             spec.vertigo.boost_factor = factor;
             let out = spec.run();
             let r = &out.report;

@@ -54,6 +54,7 @@ pub fn run(opts: &Opts) {
                 spec.topo = topo;
                 spec.horizon = horizon;
                 spec.seed = opts.seed;
+                spec.event_backend = opts.events;
                 spec.vertigo.fw_power = fw;
                 spec.vertigo.defl_power = def;
                 let out = spec.run();

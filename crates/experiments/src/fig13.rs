@@ -29,6 +29,7 @@ pub fn run(opts: &Opts) {
         spec.topo = s.leaf_spine();
         spec.horizon = s.horizon;
         spec.seed = opts.seed;
+        spec.event_backend = opts.events;
         spec.vertigo.tau = SimDuration::from_micros(tau_us);
         let out = spec.run();
         let r = &out.report;

@@ -37,6 +37,7 @@ pub fn run(opts: &Opts) {
                 spec.topo = s.leaf_spine();
                 spec.horizon = s.horizon;
                 spec.seed = opts.seed;
+                spec.event_backend = opts.events;
                 cells.push(Cell::new(
                     format!("fig5 bg{bg_pct} load{total} {}", sys.name()),
                     move || {

@@ -44,6 +44,7 @@ pub fn run(opts: &Opts) {
                 spec.topo = TopoKind::FatTree { k: s.ft_k };
                 spec.horizon = s.ft_horizon;
                 spec.seed = opts.seed;
+                spec.event_backend = opts.events;
                 let out = spec.run();
                 let r = &out.report;
                 summary.row(vec![

@@ -36,6 +36,7 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
+            spec.event_backend = opts.events;
             cells.push(Cell::new(format!("fig9 {flow_kb}KB {name}"), move || {
                 let out = spec.run();
                 let r = &out.report;

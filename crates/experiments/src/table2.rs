@@ -24,6 +24,7 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
+            spec.event_backend = opts.events;
             cells.push(Cell::new(
                 format!("table2 {}+{}", sys.name(), cc.name()),
                 move || {

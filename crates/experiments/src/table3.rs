@@ -35,6 +35,7 @@ pub fn run(opts: &Opts) {
             spec.topo = s.leaf_spine();
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
+            spec.event_backend = opts.events;
             spec.vertigo.discipline = disc;
             let out = spec.run();
             cells.push(fmt_secs(out.report.qct_mean));

@@ -34,4 +34,4 @@ pub use switch::{Port, Switch};
 pub use telemetry::{
     detect_bursts, Episode, IntervalClass, Telemetry, TelemetryConfig, TelemetrySample,
 };
-pub use topology::Topology;
+pub use topology::{RouteTable, Topology};

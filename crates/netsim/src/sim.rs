@@ -10,8 +10,9 @@ use crate::queue::PortQueue;
 use crate::switch::{Port, Switch};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::topology::Topology;
+use std::sync::Arc;
 use vertigo_pkt::{mix64, FlowId, NodeId, QueryId};
-use vertigo_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use vertigo_simcore::{EventBackend, EventQueue, SimDuration, SimRng, SimTime};
 use vertigo_stats::{Recorder, Report};
 
 /// Which network to build.
@@ -37,8 +38,9 @@ pub enum TopologySpec {
         /// Link parameters throughout.
         link: LinkParams,
     },
-    /// A pre-built topology.
-    Custom(Topology),
+    /// A pre-built topology, shared by reference — building this spec never
+    /// deep-copies the adjacency lists.
+    Custom(Arc<Topology>),
 }
 
 impl TopologySpec {
@@ -62,8 +64,10 @@ impl TopologySpec {
         }
     }
 
-    /// Materializes the topology.
-    pub fn build(&self) -> Topology {
+    /// Materializes the topology. `Custom` specs return a reference-counted
+    /// handle to the caller's topology (no clone); the builders construct a
+    /// fresh one.
+    pub fn build(&self) -> Arc<Topology> {
         match self {
             TopologySpec::LeafSpine {
                 spines,
@@ -71,9 +75,15 @@ impl TopologySpec {
                 hosts_per_leaf,
                 host_link,
                 fabric_link,
-            } => Topology::leaf_spine(*spines, *leaves, *hosts_per_leaf, *host_link, *fabric_link),
-            TopologySpec::FatTree { k, link } => Topology::fat_tree(*k, *link),
-            TopologySpec::Custom(t) => t.clone(),
+            } => Arc::new(Topology::leaf_spine(
+                *spines,
+                *leaves,
+                *hosts_per_leaf,
+                *host_link,
+                *fabric_link,
+            )),
+            TopologySpec::FatTree { k, link } => Arc::new(Topology::fat_tree(*k, *link)),
+            TopologySpec::Custom(t) => Arc::clone(t),
         }
     }
 }
@@ -104,7 +114,7 @@ enum Node {
 
 /// A runnable simulation instance.
 pub struct Simulation {
-    topo: Topology,
+    topo: Arc<Topology>,
     nodes: Vec<Node>,
     events: EventQueue<Event>,
     rng: SimRng,
@@ -116,11 +126,20 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds the network described by `cfg`.
+    /// Builds the network described by `cfg` on the default event backend
+    /// (the timing wheel).
     pub fn new(cfg: &SimConfig) -> Self {
+        Self::new_with_events(cfg, EventBackend::default())
+    }
+
+    /// Builds the network described by `cfg` with an explicitly chosen
+    /// event-queue backend. The backend is unobservable in results — the
+    /// differential test suite asserts byte-identical reports either way —
+    /// so this exists for A/B benchmarking and oracle replays.
+    pub fn new_with_events(cfg: &SimConfig, backend: EventBackend) -> Self {
         let topo = cfg.topology.build();
         topo.validate().expect("invalid topology");
-        let routes = topo.switch_routes();
+        let routes = Arc::new(topo.switch_routes());
         let rng = SimRng::new(cfg.seed);
 
         let mut nodes = Vec::with_capacity(topo.num_nodes());
@@ -136,7 +155,7 @@ impl Simulation {
                 cfg.host.clone(),
             )));
         }
-        for (s, switch_routes) in routes.iter().enumerate().take(topo.switches) {
+        for s in 0..topo.switches {
             let id = NodeId((topo.hosts + s) as u32);
             let ports: Vec<Port> = topo.adj[id.index()]
                 .iter()
@@ -162,7 +181,8 @@ impl Simulation {
                 id,
                 cfg.switch,
                 ports,
-                switch_routes.clone(),
+                Arc::clone(&routes),
+                s,
                 salt,
             )));
         }
@@ -170,7 +190,7 @@ impl Simulation {
         Simulation {
             topo,
             nodes,
-            events: EventQueue::new(),
+            events: EventQueue::with_backend(backend),
             rng,
             rec: Recorder::new(),
             horizon: cfg.horizon,
@@ -310,6 +330,7 @@ impl Simulation {
                             ctx.rec.deflections,
                             ctx.rec.total_drops(),
                             ctx.rec.ecn_marks,
+                            ctx.events.len() as u64,
                         );
                         let next = now + tcfg.interval;
                         if next <= horizon {
@@ -337,7 +358,10 @@ impl Simulation {
                 self.rec.rtos += s.rtos;
             }
         }
-        Report::from_recorder(&self.rec, horizon)
+        let mut report = Report::from_recorder(&self.rec, horizon);
+        report.events_scheduled = self.events.scheduled_total();
+        report.peak_pending_events = self.events.peak_pending() as u64;
+        report
     }
 
     /// High-water mark of single-port queue occupancy across switches.

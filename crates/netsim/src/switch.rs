@@ -5,6 +5,8 @@ use crate::events::{Ctx, Event};
 use crate::link::LinkParams;
 use crate::policy::{BufferPolicy, ForwardPolicy, SwitchConfig};
 use crate::queue::PortQueue;
+use crate::topology::RouteTable;
+use std::sync::Arc;
 use vertigo_pkt::{ecmp_hash, pool, NodeId, Packet, PortId, MAX_HOPS};
 use vertigo_stats::DropCause;
 
@@ -31,8 +33,10 @@ pub struct Switch {
     pub id: NodeId,
     cfg: SwitchConfig,
     ports: Vec<Port>,
-    /// Candidate output ports per destination host.
-    routes: Vec<Vec<u16>>,
+    /// The topology-wide candidate table, shared by every switch.
+    routes: Arc<RouteTable>,
+    /// This switch's row index into `routes` (node id minus host count).
+    sw: usize,
     /// DRILL's remembered least-loaded port (m = 1), per destination.
     drill_best: Vec<Option<u16>>,
     /// Per-switch ECMP hash salt.
@@ -42,20 +46,24 @@ pub struct Switch {
 }
 
 impl Switch {
-    /// Builds a switch from its ports and per-destination candidate table.
+    /// Builds a switch from its ports and the shared candidate table;
+    /// `switch_index` selects this switch's rows (its node id minus the
+    /// host count).
     pub fn new(
         id: NodeId,
         cfg: SwitchConfig,
         ports: Vec<Port>,
-        routes: Vec<Vec<u16>>,
+        routes: Arc<RouteTable>,
+        switch_index: usize,
         ecmp_salt: u64,
     ) -> Self {
-        let hosts = routes.len();
+        let hosts = routes.hosts();
         Switch {
             id,
             cfg,
             ports,
             routes,
+            sw: switch_index,
             drill_best: vec![None; hosts],
             ecmp_salt,
             max_port_bytes: 0,
@@ -95,7 +103,7 @@ impl Switch {
             return;
         }
         let dst = pkt.dst.index();
-        debug_assert!(dst < self.routes.len(), "packet to unknown destination");
+        debug_assert!(dst < self.routes.hosts(), "packet to unknown destination");
         let out = match self.select_output(dst, &pkt, ctx) {
             Some(p) => p,
             None => {
@@ -109,7 +117,7 @@ impl Switch {
 
     /// Forwarding decision: pick among the equal-cost candidates.
     fn select_output(&mut self, dst: usize, pkt: &Packet, ctx: &mut Ctx) -> Option<u16> {
-        let cands = &self.routes[dst];
+        let cands = self.routes.candidates(self.sw, dst);
         match cands.len() {
             0 => None,
             1 => Some(cands[0]),

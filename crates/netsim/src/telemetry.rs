@@ -35,6 +35,9 @@ pub struct TelemetrySample {
     pub drops: u64,
     /// ECN marks during this interval.
     pub ecn_marks: u64,
+    /// Events pending in the simulator queue at the instant of sampling —
+    /// scheduler pressure, the event-loop analogue of `queued_bytes`.
+    pub pending_events: u64,
 }
 
 /// The collected time series.
@@ -53,7 +56,9 @@ impl Telemetry {
         Telemetry::default()
     }
 
-    /// Records one sample from cumulative counters.
+    /// Records one sample from cumulative counters plus the instantaneous
+    /// event-queue depth.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         at: SimTime,
@@ -62,6 +67,7 @@ impl Telemetry {
         deflections_cum: u64,
         drops_cum: u64,
         ecn_cum: u64,
+        pending_events: u64,
     ) {
         self.samples.push(TelemetrySample {
             at,
@@ -70,6 +76,7 @@ impl Telemetry {
             deflections: deflections_cum - self.last_deflections,
             drops: drops_cum - self.last_drops,
             ecn_marks: ecn_cum - self.last_ecn,
+            pending_events,
         });
         self.last_deflections = deflections_cum;
         self.last_drops = drops_cum;
@@ -159,18 +166,22 @@ mod tests {
             deflections,
             drops,
             ecn_marks: 0,
+            pending_events: 0,
         }
     }
 
     #[test]
     fn record_computes_interval_deltas() {
         let mut tel = Telemetry::new();
-        tel.record(t(100), 10, 5, 50, 2, 1);
-        tel.record(t(200), 20, 8, 80, 2, 4);
+        tel.record(t(100), 10, 5, 50, 2, 1, 7);
+        tel.record(t(200), 20, 8, 80, 2, 4, 9);
         assert_eq!(tel.samples[0].deflections, 50);
         assert_eq!(tel.samples[1].deflections, 30);
         assert_eq!(tel.samples[1].drops, 0);
         assert_eq!(tel.samples[1].ecn_marks, 3);
+        // Pending-events depth is instantaneous, not a delta.
+        assert_eq!(tel.samples[0].pending_events, 7);
+        assert_eq!(tel.samples[1].pending_events, 9);
     }
 
     #[test]

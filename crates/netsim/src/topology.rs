@@ -18,6 +18,80 @@
 use crate::link::LinkParams;
 use vertigo_pkt::{NodeId, PortId};
 
+/// Flattened per-switch routing: the candidate output ports for every
+/// `(switch, destination host)` pair, CSR-style.
+///
+/// The old representation was `Vec<Vec<Vec<u16>>>` — one nested table per
+/// switch, deep-cloned into every `Switch` (80 switches × 128 hosts of
+/// nested `Vec`s in the k=8 fat-tree) and costing two pointer chases per
+/// forwarding decision. This layout stores all candidate lists in one
+/// dense `ports` array with a prefix-offset index, is built once per
+/// topology, and is shared across switches behind an `Arc`: a candidate
+/// lookup is one multiply-add into `offsets` and one contiguous slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    /// `offsets[s * hosts + h] .. offsets[s * hosts + h + 1]` indexes the
+    /// candidate ports of switch `s` (0-based, excluding hosts) toward
+    /// host `h`. Length `switches * hosts + 1`.
+    offsets: Vec<u32>,
+    /// All candidate port lists, concatenated.
+    ports: Vec<u16>,
+    /// Number of hosts (row width).
+    hosts: usize,
+}
+
+impl RouteTable {
+    /// Candidate output ports on switch `switch_idx` (0-based, i.e.
+    /// `node_id - hosts`) toward `dst_host`. Empty iff unreachable.
+    #[inline]
+    pub fn candidates(&self, switch_idx: usize, dst_host: usize) -> &[u16] {
+        debug_assert!(dst_host < self.hosts, "unknown destination host");
+        let row = switch_idx * self.hosts + dst_host;
+        let (lo, hi) = (self.offsets[row] as usize, self.offsets[row + 1] as usize);
+        &self.ports[lo..hi]
+    }
+
+    /// Number of hosts (columns per switch).
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Number of switches (rows).
+    pub fn switches(&self) -> usize {
+        (self.offsets.len() - 1)
+            .checked_div(self.hosts)
+            .unwrap_or(0)
+    }
+
+    /// Total candidate-port entries (diagnostic).
+    pub fn total_entries(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Builds a table from nested per-switch candidate lists:
+    /// `nested[switch][host]` is the candidate port list. Intended for
+    /// hand-crafted topologies in tests; production tables come from
+    /// [`Topology::switch_routes`].
+    pub fn from_nested(nested: &[Vec<Vec<u16>>]) -> Self {
+        let hosts = nested.first().map_or(0, |per_host| per_host.len());
+        let mut offsets = Vec::with_capacity(nested.len() * hosts + 1);
+        let mut ports = Vec::new();
+        offsets.push(0);
+        for per_host in nested {
+            assert_eq!(per_host.len(), hosts, "ragged route table");
+            for cands in per_host {
+                ports.extend_from_slice(cands);
+                offsets.push(u32::try_from(ports.len()).expect("route table < 4G entries"));
+            }
+        }
+        RouteTable {
+            offsets,
+            ports,
+            hosts,
+        }
+    }
+}
+
 /// An immutable network topology: adjacency (ports) plus link parameters.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -217,9 +291,12 @@ impl Topology {
     }
 
     /// Computes, for every switch, the candidate output ports toward every
-    /// host: `routes[switch - hosts][dst_host]` is the list of ports on
+    /// host: `candidates(switch - hosts, dst_host)` is the list of ports on
     /// shortest switch-level paths (or the host port at the access switch).
-    pub fn switch_routes(&self) -> Vec<Vec<Vec<u16>>> {
+    ///
+    /// The table is built once and meant to be shared across all switches
+    /// via `Arc` — see [`RouteTable`] for the layout.
+    pub fn switch_routes(&self) -> RouteTable {
         // Distances are shared by all hosts under one access switch.
         let mut dists_by_access: std::collections::HashMap<NodeId, Vec<u32>> =
             std::collections::HashMap::new();
@@ -229,33 +306,44 @@ impl Topology {
                 .entry(a)
                 .or_insert_with(|| self.switch_dists(a));
         }
-        let mut routes = vec![vec![Vec::new(); self.hosts]; self.switches];
-        for (s, to_hosts) in routes.iter_mut().enumerate() {
+        let mut offsets = Vec::with_capacity(self.switches * self.hosts + 1);
+        // Candidate lists are short (<= port count); ports-per-pair * pairs
+        // is a fine upper-bound guess for typical fabrics.
+        let mut ports: Vec<u16> = Vec::with_capacity(self.switches * self.hosts * 2);
+        offsets.push(0);
+        for s in 0..self.switches {
             let sw = NodeId((self.hosts + s) as u32);
-            for (h, ports) in to_hosts.iter_mut().enumerate() {
+            for h in 0..self.hosts {
                 let host = NodeId(h as u32);
                 let access = self.access_switch(host);
                 if sw == access {
                     let p = self.port_to(sw, host).expect("host attached");
                     ports.push(p.0);
-                    continue;
-                }
-                let dist = &dists_by_access[&access];
-                let my_d = dist[sw.index()];
-                if my_d == u32::MAX || my_d == 0 {
-                    continue; // unreachable (disconnected) — leave empty
-                }
-                for (pi, &(peer, _)) in self.adj[sw.index()].iter().enumerate() {
-                    if self.is_host(peer) {
-                        continue;
+                } else {
+                    let dist = &dists_by_access[&access];
+                    let my_d = dist[sw.index()];
+                    // my_d == MAX or 0: unreachable (disconnected) — leave
+                    // the candidate list empty.
+                    if my_d != u32::MAX && my_d != 0 {
+                        for (pi, &(peer, _)) in self.adj[sw.index()].iter().enumerate() {
+                            if self.is_host(peer) {
+                                continue;
+                            }
+                            if dist[peer.index()] == my_d - 1 {
+                                ports.push(pi as u16);
+                            }
+                        }
                     }
-                    if dist[peer.index()] == my_d - 1 {
-                        ports.push(pi as u16);
-                    }
                 }
+                offsets.push(u32::try_from(ports.len()).expect("route table < 4G entries"));
             }
         }
-        routes
+        ports.shrink_to_fit();
+        RouteTable {
+            offsets,
+            ports,
+            hosts: self.hosts,
+        }
     }
 }
 
@@ -328,16 +416,18 @@ mod tests {
     fn leaf_spine_routes() {
         let t = ls();
         let routes = t.switch_routes();
+        assert_eq!(routes.hosts(), t.hosts);
+        assert_eq!(routes.switches(), t.switches);
         // At the destination's own leaf: exactly the host port.
         let h0 = NodeId(0);
         let leaf0 = t.access_switch(h0);
-        let r = &routes[leaf0.index() - t.hosts][0];
+        let r = routes.candidates(leaf0.index() - t.hosts, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(t.adj[leaf0.index()][r[0] as usize].0, h0);
         // At another leaf: all 4 spines are candidates.
         let leaf1 = t.access_switch(NodeId(5));
         assert_ne!(leaf0, leaf1);
-        let r = &routes[leaf1.index() - t.hosts][0];
+        let r = routes.candidates(leaf1.index() - t.hosts, 0);
         assert_eq!(r.len(), 4);
         for &p in r {
             let peer = t.adj[leaf1.index()][p as usize].0;
@@ -345,7 +435,7 @@ mod tests {
         }
         // At a spine: exactly the port down to leaf 0.
         let spine = NodeId((t.hosts + 8) as u32);
-        let r = &routes[spine.index() - t.hosts][0];
+        let r = routes.candidates(spine.index() - t.hosts, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(t.adj[spine.index()][r[0] as usize].0, leaf0);
     }
@@ -358,14 +448,36 @@ mod tests {
         // candidates.
         let h_far = t.hosts - 1;
         let edge0 = t.access_switch(NodeId(0));
-        let r = &routes[edge0.index() - t.hosts][h_far];
+        let r = routes.candidates(edge0.index() - t.hosts, h_far);
         assert_eq!(r.len(), 2);
         // Every switch can reach every host.
-        for (s, to_hosts) in routes.iter().enumerate() {
-            for (h, ports) in to_hosts.iter().enumerate() {
-                assert!(!ports.is_empty(), "switch {s} has no route to host {h}");
+        for s in 0..routes.switches() {
+            for h in 0..routes.hosts() {
+                assert!(
+                    !routes.candidates(s, h).is_empty(),
+                    "switch {s} has no route to host {h}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn route_table_from_nested_matches_builder() {
+        let t = ls();
+        let csr = t.switch_routes();
+        // Reconstruct the nested form through the public API and re-flatten.
+        let nested: Vec<Vec<Vec<u16>>> = (0..csr.switches())
+            .map(|s| {
+                (0..csr.hosts())
+                    .map(|h| csr.candidates(s, h).to_vec())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(RouteTable::from_nested(&nested), csr);
+        assert_eq!(
+            csr.total_entries(),
+            nested.iter().flatten().map(Vec::len).sum()
+        );
     }
 
     #[test]
@@ -375,13 +487,12 @@ mod tests {
         // pair in a k=4 fat-tree.
         let t = Topology::fat_tree(4, LinkParams::gbps(10, 500));
         let routes = t.switch_routes();
-        #[allow(clippy::needless_range_loop)] // `routes` is re-indexed by `cur`, not `s`
         for s in 0..t.switches {
             for h in 0..t.hosts {
                 let mut cur = NodeId((t.hosts + s) as u32);
                 let mut hops = 0;
                 loop {
-                    let r = &routes[cur.index() - t.hosts][h];
+                    let r = routes.candidates(cur.index() - t.hosts, h);
                     let port = r[0] as usize; // deterministic first candidate
                     let next = t.adj[cur.index()][port].0;
                     hops += 1;

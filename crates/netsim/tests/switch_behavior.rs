@@ -2,7 +2,9 @@
 //! targeting, forced-insert drops, ECN marking, and the TTL guard —
 //! exercised on a hand-built switch with inspectable ports.
 
-use vertigo_netsim::{BufferPolicy, Ctx, Event, LinkParams, Port, PortQueue, Switch, SwitchConfig};
+use vertigo_netsim::{
+    BufferPolicy, Ctx, Event, LinkParams, Port, PortQueue, RouteTable, Switch, SwitchConfig,
+};
 use vertigo_pkt::{DataSeg, FlowId, FlowInfo, NodeId, Packet, PortId, QueryId, MAX_HOPS};
 use vertigo_simcore::{EventQueue, SimRng, SimTime};
 use vertigo_stats::{DropCause, Recorder};
@@ -27,9 +29,10 @@ fn mk_switch(cfg: SwitchConfig) -> Switch {
             host_facing: i == 0,
         })
         .collect();
-    // One destination (HOST, id 0): reached via port 0.
-    let routes = vec![vec![0u16]];
-    Switch::new(SW, cfg, ports, routes, 0xBEEF)
+    // One destination (HOST, id 0): reached via port 0. The single-switch
+    // table has one row, so this switch is index 0.
+    let routes = std::sync::Arc::new(RouteTable::from_nested(&[vec![vec![0u16]]]));
+    Switch::new(SW, cfg, ports, routes, 0, 0xBEEF)
 }
 
 struct Harness {

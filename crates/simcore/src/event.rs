@@ -4,37 +4,39 @@
 //! same instant pop in insertion order (a monotonic sequence number breaks
 //! ties), which makes whole simulations bit-reproducible for a given seed —
 //! a property the test suite asserts end to end.
+//!
+//! Two interchangeable backends implement that contract:
+//!
+//! * [`EventBackend::Wheel`] (the default) — a hierarchical timing wheel
+//!   with amortized O(1) push/pop; see [`crate::wheel`]'s module docs.
+//! * [`EventBackend::Heap`] — the original `BinaryHeap` implementation,
+//!   retained as [`HeapEventQueue`](crate::HeapEventQueue) and selectable
+//!   here so entire simulations can be replayed on it; the differential
+//!   test suite asserts both produce identical event sequences (and
+//!   byte-identical experiment output).
 
+use crate::heapq::HeapEventQueue;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::wheel::TimingWheel;
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    ev: E,
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventBackend {
+    /// Hierarchical timing wheel: amortized O(1) per operation (default).
+    #[default]
+    Wheel,
+    /// Binary heap: O(log n) per operation; the reference oracle.
+    Heap,
 }
 
-// Ordering considers only (at, seq) — the payload needs no comparison
-// traits, and (at, seq) is unique per entry so the ordering is total.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+// The wheel variant is ~350 bytes (inline occupancy bitmaps) vs ~50 for
+// the heap. Boxing it would shrink the enum but put a pointer chase on
+// every push/pop — the opposite of what this queue is for. One queue
+// lives per simulation, so the size asymmetry costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum Backend<E> {
+    Wheel(TimingWheel<E>),
+    Heap(HeapEventQueue<E>),
 }
 
 /// A deterministic, time-ordered event queue.
@@ -45,41 +47,53 @@ impl<E> PartialOrd for Entry<E> {
 /// clamped to `now` in release builds so a simulation never travels back in
 /// time).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    seq: u64,
-    now: SimTime,
+    inner: Backend<E>,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`],
+    /// backed by the default timing wheel.
     pub fn new() -> Self {
+        Self::with_backend(EventBackend::Wheel)
+    }
+
+    /// Creates an empty queue on an explicitly chosen backend.
+    pub fn with_backend(backend: EventBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
+            inner: match backend {
+                EventBackend::Wheel => Backend::Wheel(TimingWheel::new()),
+                EventBackend::Heap => Backend::Heap(HeapEventQueue::new()),
+            },
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> EventBackend {
+        match &self.inner {
+            Backend::Wheel(_) => EventBackend::Wheel,
+            Backend::Heap(_) => EventBackend::Heap,
         }
     }
 
     /// The current simulation clock (timestamp of the last popped event).
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.now
+        match &self.inner {
+            Backend::Wheel(q) => q.now(),
+            Backend::Heap(q) => q.now(),
+        }
     }
 
     /// Schedules `ev` for delivery at `at`.
     ///
     /// `at` must not be earlier than the current clock; in debug builds this
     /// panics, in release builds the event is clamped to `now`.
+    #[inline]
     pub fn push(&mut self, at: SimTime, ev: E) {
-        debug_assert!(
-            at >= self.now,
-            "scheduled an event in the past: {at:?} < {:?}",
-            self.now
-        );
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, ev }));
+        match &mut self.inner {
+            Backend::Wheel(q) => q.push(at, ev),
+            Backend::Heap(q) => q.push(at, ev),
+        }
     }
 
     /// Schedules `ev` for `delay` after the current clock.
@@ -90,54 +104,72 @@ impl<E> EventQueue<E> {
     /// construction (no past-scheduling check needed).
     #[inline]
     pub fn push_after(&mut self, delay: SimDuration, ev: E) {
-        let at = self.now + delay;
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, ev }));
+        match &mut self.inner {
+            Backend::Wheel(q) => q.push_after(delay, ev),
+            Backend::Heap(q) => q.push_after(delay, ev),
+        }
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(e) = self.heap.pop()?;
-        self.now = e.at;
-        Some((e.at, e.ev))
+        match &mut self.inner {
+            Backend::Wheel(q) => q.pop(),
+            Backend::Heap(q) => q.pop(),
+        }
     }
 
     /// Combined peek-then-pop: removes and returns the earliest event only
     /// if its timestamp is at or before `limit`, advancing the clock.
     ///
-    /// This is the main-loop fast path — one heap access instead of the
-    /// `peek_time()` + `pop()` pair, and events beyond the horizon stay
-    /// queued (the clock does not move past `limit`).
+    /// This is the main-loop fast path — events beyond the horizon stay
+    /// queued and the clock does not move past `limit`.
     #[inline]
     pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
-        if self.heap.peek()?.0.at > limit {
-            return None;
+        match &mut self.inner {
+            Backend::Wheel(q) => q.pop_until(limit),
+            Backend::Heap(q) => q.pop_until(limit),
         }
-        let Reverse(e) = self.heap.pop().expect("peeked entry exists");
-        self.now = e.at;
-        Some((e.at, e.ev))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        match &self.inner {
+            Backend::Wheel(q) => q.peek_time(),
+            Backend::Heap(q) => q.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Backend::Wheel(q) => q.len(),
+            Backend::Heap(q) => q.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostic).
     pub fn scheduled_total(&self) -> u64 {
-        self.seq
+        match &self.inner {
+            Backend::Wheel(q) => q.scheduled_total(),
+            Backend::Heap(q) => q.scheduled_total(),
+        }
+    }
+
+    /// High-water mark of pending events — the queue-depth analogue of a
+    /// switch buffer's peak occupancy. Deflection storms (DIBS-style) show
+    /// up here as an order-of-magnitude spike over quiet runs.
+    pub fn peak_pending(&self) -> usize {
+        match &self.inner {
+            Backend::Wheel(q) => q.peak_pending(),
+            Backend::Heap(q) => q.peak_pending(),
+        }
     }
 }
 
@@ -152,40 +184,52 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Every contract test runs against both backends.
+    fn both(f: impl Fn(EventBackend)) {
+        f(EventBackend::Wheel);
+        f(EventBackend::Heap);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(30), "c");
-        q.push(SimTime::from_nanos(10), "a");
-        q.push(SimTime::from_nanos(20), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
-        assert_eq!(q.pop(), None);
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_nanos(30), "c");
+            q.push(SimTime::from_nanos(10), "a");
+            q.push(SimTime::from_nanos(20), "b");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
-        }
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            let t = SimTime::from_micros(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
+        });
     }
 
     #[test]
     fn clock_advances_with_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.push(SimTime::from_millis(5), ());
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_millis(5));
-        // Scheduling relative to the advanced clock works.
-        q.push(q.now() + SimDuration::from_millis(1), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(6)));
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.push(SimTime::from_millis(5), ());
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_millis(5));
+            // Scheduling relative to the advanced clock works.
+            q.push(q.now() + SimDuration::from_millis(1), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(6)));
+        });
     }
 
     #[test]
@@ -199,86 +243,124 @@ mod tests {
     }
 
     #[test]
-    fn len_and_counters() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(SimTime::from_nanos(1), 1);
-        q.push(SimTime::from_nanos(2), 2);
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.scheduled_total(), 2);
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "in the past")]
+    fn past_scheduling_panics_in_debug_heap() {
+        let mut q = EventQueue::with_backend(EventBackend::Heap);
+        q.push(SimTime::from_millis(5), ());
         q.pop();
-        assert_eq!(q.len(), 1);
+        q.push(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        both(|b| {
+            let mut q: EventQueue<u8> = EventQueue::with_backend(b);
+            assert!(q.is_empty());
+            q.push(SimTime::from_nanos(1), 1);
+            q.push(SimTime::from_nanos(2), 2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.scheduled_total(), 2);
+            assert_eq!(q.peak_pending(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peak_pending(), 2);
+        });
     }
 
     #[test]
     fn push_after_is_relative_to_clock() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(5), "first");
-        q.pop();
-        q.push_after(SimDuration::from_millis(2), "second");
-        assert_eq!(q.pop(), Some((SimTime::from_millis(7), "second")));
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_millis(5), "first");
+            q.pop();
+            q.push_after(SimDuration::from_millis(2), "second");
+            assert_eq!(q.pop(), Some((SimTime::from_millis(7), "second")));
+        });
     }
 
     #[test]
     fn push_after_matches_push_ordering() {
-        // push(now + d) and push_after(d) must interleave identically.
-        let mut a = EventQueue::new();
-        let mut b = EventQueue::new();
-        for i in [7u64, 3, 3, 9, 1] {
-            let d = SimDuration::from_nanos(i);
-            a.push(a.now() + d, i);
-            b.push_after(d, i);
-        }
-        loop {
-            let (x, y) = (a.pop(), b.pop());
-            assert_eq!(x, y);
-            if x.is_none() {
-                break;
+        both(|b| {
+            // push(now + d) and push_after(d) must interleave identically.
+            let mut a = EventQueue::with_backend(b);
+            let mut c = EventQueue::with_backend(b);
+            for i in [7u64, 3, 3, 9, 1] {
+                let d = SimDuration::from_nanos(i);
+                a.push(a.now() + d, i);
+                c.push_after(d, i);
             }
-        }
+            loop {
+                let (x, y) = (a.pop(), c.pop());
+                assert_eq!(x, y);
+                if x.is_none() {
+                    break;
+                }
+            }
+        });
     }
 
     #[test]
     fn pop_until_respects_horizon() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), "in");
-        q.push(SimTime::from_nanos(30), "out");
-        let limit = SimTime::from_nanos(20);
-        assert_eq!(q.pop_until(limit), Some((SimTime::from_nanos(10), "in")));
-        // The later event stays queued and the clock stays put.
-        assert_eq!(q.pop_until(limit), None);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.now(), SimTime::from_nanos(10));
-        // A higher limit releases it.
-        assert_eq!(
-            q.pop_until(SimTime::from_nanos(30)),
-            Some((SimTime::from_nanos(30), "out"))
-        );
-        assert_eq!(q.pop_until(SimTime::from_nanos(u64::MAX)), None);
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_nanos(10), "in");
+            q.push(SimTime::from_nanos(30), "out");
+            let limit = SimTime::from_nanos(20);
+            assert_eq!(q.pop_until(limit), Some((SimTime::from_nanos(10), "in")));
+            // The later event stays queued and the clock stays put.
+            assert_eq!(q.pop_until(limit), None);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.now(), SimTime::from_nanos(10));
+            // A higher limit releases it.
+            assert_eq!(
+                q.pop_until(SimTime::from_nanos(30)),
+                Some((SimTime::from_nanos(30), "out"))
+            );
+            assert_eq!(q.pop_until(SimTime::from_nanos(u64::MAX)), None);
+        });
     }
 
     #[test]
     fn pop_until_ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(1);
-        for i in 0..10 {
-            q.push(t, i);
-        }
-        for i in 0..10 {
-            assert_eq!(q.pop_until(t).unwrap().1, i);
-        }
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            let t = SimTime::from_micros(1);
+            for i in 0..10 {
+                q.push(t, i);
+            }
+            for i in 0..10 {
+                assert_eq!(q.pop_until(t).unwrap().1, i);
+            }
+        });
     }
 
     #[test]
     fn interleaved_push_pop_stays_sorted() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), 10u64);
-        q.push(SimTime::from_nanos(50), 50);
-        let (t, v) = q.pop().unwrap();
-        assert_eq!(v, 10);
-        q.push(t + SimDuration::from_nanos(5), 15);
-        q.push(t + SimDuration::from_nanos(25), 35);
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
-        assert_eq!(order, vec![15, 35, 50]);
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            q.push(SimTime::from_nanos(10), 10u64);
+            q.push(SimTime::from_nanos(50), 50);
+            let (t, v) = q.pop().unwrap();
+            assert_eq!(v, 10);
+            q.push(t + SimDuration::from_nanos(5), 15);
+            q.push(t + SimDuration::from_nanos(25), 35);
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+            assert_eq!(order, vec![15, 35, 50]);
+        });
+    }
+
+    #[test]
+    fn backend_selection_is_observable() {
+        assert_eq!(
+            EventQueue::<()>::new().backend(),
+            EventBackend::Wheel,
+            "wheel is the default"
+        );
+        assert_eq!(
+            EventQueue::<()>::with_backend(EventBackend::Heap).backend(),
+            EventBackend::Heap
+        );
+        assert_eq!(EventBackend::default(), EventBackend::Wheel);
     }
 }

@@ -5,6 +5,9 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulation clock,
 //! * [`EventQueue`] — a time-ordered event queue with FIFO tie-breaking,
+//!   backed by a hierarchical timing wheel (amortized O(1)); the original
+//!   binary-heap implementation is retained as [`HeapEventQueue`] and
+//!   selectable via [`EventBackend`] for differential testing,
 //! * [`SimRng`] — seeded randomness with forkable independent streams,
 //! * [`TimerSlot`] / [`TimerToken`] — O(1)-cancellable logical timers.
 //!
@@ -17,11 +20,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod heapq;
 mod rng;
 mod time;
 mod timer;
+mod wheel;
 
-pub use event::EventQueue;
+pub use event::{EventBackend, EventQueue};
+pub use heapq::HeapEventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerSlot, TimerToken};

@@ -63,6 +63,14 @@ pub struct Report {
     /// ECN marks applied.
     pub ecn_marks: u64,
 
+    /// Total events ever scheduled on the simulator's event queue — a
+    /// backend-independent measure of how much work the run was (filled in
+    /// by the simulation driver after the event loop finishes).
+    pub events_scheduled: u64,
+    /// High-water mark of pending events in the queue. Deflection storms
+    /// show up here as a spike over quiet runs.
+    pub peak_pending_events: u64,
+
     /// Sorted FCT samples (seconds) for CDF plotting.
     pub fct_samples: Vec<f64>,
     /// Sorted QCT samples (seconds) for CDF plotting.
@@ -136,6 +144,8 @@ impl Report {
             retransmits: rec.retransmits,
             rtos: rec.rtos,
             ecn_marks: rec.ecn_marks,
+            events_scheduled: 0,
+            peak_pending_events: 0,
             fct_samples: fct,
             qct_samples: qct,
         }

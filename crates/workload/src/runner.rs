@@ -12,7 +12,7 @@ use vertigo_core::{MarkingConfig, MarkingDiscipline, OrderingConfig, OrderingMod
 use vertigo_netsim::{
     BufferPolicy, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig, TopologySpec,
 };
-use vertigo_simcore::SimDuration;
+use vertigo_simcore::{EventBackend, SimDuration};
 use vertigo_stats::Report;
 use vertigo_transport::{CcKind, TransportConfig};
 
@@ -127,6 +127,9 @@ pub struct RunSpec {
     pub vertigo: VertigoTuning,
     /// Per-port switch buffer in bytes (paper: 300 KB).
     pub port_buffer_bytes: u64,
+    /// Event-queue backend (results are backend-independent; the heap
+    /// exists for A/B benchmarking and oracle replays).
+    pub event_backend: EventBackend,
 }
 
 /// What a run produced.
@@ -157,6 +160,7 @@ impl RunSpec {
             seed: 1,
             vertigo: VertigoTuning::default(),
             port_buffer_bytes: 300 * 1000,
+            event_backend: EventBackend::default(),
         }
     }
 
@@ -251,7 +255,7 @@ impl RunSpec {
             horizon: self.horizon,
             seed: self.seed,
         };
-        let mut sim = Simulation::new(&cfg);
+        let mut sim = Simulation::new_with_events(&cfg, self.event_backend);
         self.workload.install(&mut sim);
         sim
     }

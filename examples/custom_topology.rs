@@ -55,12 +55,14 @@ fn build() -> Topology {
 }
 
 fn main() {
-    let topo = build();
+    let topo = std::sync::Arc::new(build());
     println!(
         "topology: {} ({} hosts, {} switches)",
         topo.name, topo.hosts, topo.switches
     );
 
+    // `Custom` takes the topology by `Arc`, so the simulation shares this
+    // one instead of deep-copying the adjacency lists.
     let mut sim = Simulation::new(&SimConfig {
         topology: TopologySpec::Custom(topo),
         switch: SwitchConfig::vertigo(),

@@ -16,4 +16,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "==> ci OK"

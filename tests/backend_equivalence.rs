@@ -1,0 +1,141 @@
+//! End-to-end scheduler-backend equivalence: a full fig5-style cell run
+//! on the timing wheel must be byte-identical to the same cell replayed
+//! on the binary-heap oracle — same Report numbers, same formatted CSV
+//! row. The event-queue backend must be completely unobservable in
+//! results; only wall-clock time may differ.
+
+use vertigo::simcore::{EventBackend, SimDuration};
+use vertigo::transport::CcKind;
+use vertigo::workload::{
+    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+};
+
+/// Mirrors `fmt_secs` in the experiments harness: the unit-formatted cell
+/// text that lands in the fig5 CSVs.
+fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_string()
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// One quick-scale fig5 cell: 25 % CacheFollower background + 10 % incast
+/// on the 32-host leaf-spine, 20 ms horizon (the `--quick` preset's
+/// bg25/load35 cell).
+fn quick_cell(system: SystemKind, backend: EventBackend) -> RunSpec {
+    let total_bw = 32u64 * 10_000_000_000;
+    let mut spec = RunSpec::new(
+        system,
+        CcKind::Dctcp,
+        WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.25,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(IncastSpec {
+                qps: IncastSpec::qps_for_load(0.10, 10, 40_000, total_bw),
+                scale: 10,
+                flow_bytes: 40_000,
+            }),
+        },
+    );
+    spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+    spec.horizon = SimDuration::from_millis(20);
+    spec.seed = 1;
+    spec.event_backend = backend;
+    spec
+}
+
+/// The fig5 CSV row for a run (same columns the harness emits).
+fn csv_row(system: SystemKind, r: &vertigo::stats::Report) -> String {
+    [
+        "35".to_string(),
+        system.name().to_string(),
+        fmt_secs(r.qct_mean),
+        fmt_secs(r.qct_p99),
+        fmt_secs(r.fct_mean),
+        fmt_secs(r.fct_p99),
+        r.drops.to_string(),
+    ]
+    .join(",")
+}
+
+#[test]
+fn fig5_cell_is_byte_identical_across_backends() {
+    for system in SystemKind::all() {
+        let wheel = quick_cell(system, EventBackend::Wheel).run();
+        let heap = quick_cell(system, EventBackend::Heap).run();
+        let (w, h) = (&wheel.report, &heap.report);
+
+        // Every scalar the figures are built from, bit-for-bit.
+        assert_eq!(w.flows_started, h.flows_started, "{}", system.name());
+        assert_eq!(w.flows_completed, h.flows_completed, "{}", system.name());
+        assert_eq!(
+            w.queries_completed,
+            h.queries_completed,
+            "{}",
+            system.name()
+        );
+        assert_eq!(
+            w.fct_mean.to_bits(),
+            h.fct_mean.to_bits(),
+            "{}",
+            system.name()
+        );
+        assert_eq!(
+            w.fct_p99.to_bits(),
+            h.fct_p99.to_bits(),
+            "{}",
+            system.name()
+        );
+        assert_eq!(
+            w.qct_mean.to_bits(),
+            h.qct_mean.to_bits(),
+            "{}",
+            system.name()
+        );
+        assert_eq!(
+            w.qct_p99.to_bits(),
+            h.qct_p99.to_bits(),
+            "{}",
+            system.name()
+        );
+        assert_eq!(w.goodput_gbps.to_bits(), h.goodput_gbps.to_bits());
+        assert_eq!(w.drops, h.drops, "{}", system.name());
+        assert_eq!(w.deflections, h.deflections, "{}", system.name());
+        assert_eq!(w.retransmits, h.retransmits, "{}", system.name());
+        assert_eq!(w.ecn_marks, h.ecn_marks, "{}", system.name());
+        assert_eq!(w.fct_samples, h.fct_samples, "{}", system.name());
+        assert_eq!(w.qct_samples, h.qct_samples, "{}", system.name());
+
+        // The new scheduler diagnostics are backend-independent too: both
+        // backends see the same schedule.
+        assert_eq!(w.events_scheduled, h.events_scheduled, "{}", system.name());
+        assert_eq!(
+            w.peak_pending_events,
+            h.peak_pending_events,
+            "{}",
+            system.name()
+        );
+        assert!(w.events_scheduled > 0, "a real run schedules events");
+        assert!(w.peak_pending_events > 0);
+
+        // And the exact bytes the harness would write into fig5_bg25.csv.
+        assert_eq!(
+            csv_row(system, w).into_bytes(),
+            csv_row(system, h).into_bytes(),
+            "{}: CSV row differs between backends",
+            system.name()
+        );
+
+        // Side stats carried outside the report agree as well.
+        assert_eq!(wheel.max_port_bytes, heap.max_port_bytes);
+        assert_eq!(wheel.ordering.in_order, heap.ordering.in_order);
+        assert_eq!(wheel.marking.marked, heap.marking.marked);
+    }
+}

@@ -25,15 +25,20 @@ fn paper_leaf_spine_builds_at_full_scale() {
     // Routing: every switch reaches every host; inter-rack paths have the
     // full spine fan-out at the source leaf.
     let routes = topo.switch_routes();
-    for (s, per_dst) in routes.iter().enumerate() {
-        for (h, cands) in per_dst.iter().enumerate() {
-            assert!(!cands.is_empty(), "switch {s} cannot reach host {h}");
+    for s in 0..routes.switches() {
+        for h in 0..routes.hosts() {
+            assert!(
+                !routes.candidates(s, h).is_empty(),
+                "switch {s} cannot reach host {h}"
+            );
         }
     }
     let src_leaf = topo.access_switch(NodeId(0));
     let remote_host = 319; // other end of the fabric
     assert_eq!(
-        routes[src_leaf.index() - topo.hosts][remote_host].len(),
+        routes
+            .candidates(src_leaf.index() - topo.hosts, remote_host)
+            .len(),
         4,
         "4 spines = 4 ECMP candidates"
     );
@@ -52,11 +57,14 @@ fn paper_fat_tree_builds_at_full_scale() {
     // remote pod: edge -> 4 aggs, agg -> 4 cores.
     let edge = topo.access_switch(NodeId(0));
     let remote = 127;
-    assert_eq!(routes[edge.index() - topo.hosts][remote].len(), 4);
+    assert_eq!(
+        routes.candidates(edge.index() - topo.hosts, remote).len(),
+        4
+    );
     // And every (switch, host) pair is reachable.
-    for per_dst in &routes {
-        for cands in per_dst {
-            assert!(!cands.is_empty());
+    for s in 0..routes.switches() {
+        for h in 0..routes.hosts() {
+            assert!(!routes.candidates(s, h).is_empty());
         }
     }
 }
