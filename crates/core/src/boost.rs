@@ -116,6 +116,24 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_wraps_past_64_retransmissions() {
+        // retcnt * shift wraps modulo 32 many times over; the rotation
+        // algebra must still cancel exactly.
+        let orig = 0xDEAD_BEEFu32;
+        for &(retcnt, shift) in &[(64u8, 1u32), (64, 3), (100, 5), (128, 7), (255, 31)] {
+            let mut wire = orig;
+            for _ in 0..retcnt {
+                wire = boost_once(wire, shift);
+            }
+            assert_eq!(
+                unboost(wire, retcnt, shift),
+                orig,
+                "round-trip broke at retcnt={retcnt} shift={shift}"
+            );
+        }
+    }
+
+    #[test]
     fn max_boost_counts() {
         assert_eq!(max_boosts(1), 15); // capped by the 4-bit retcnt field
         assert_eq!(max_boosts(2), 15);
@@ -127,6 +145,19 @@ mod tests {
         /// Boost/unboost round-trips for any RFS, any shift, any count.
         #[test]
         fn roundtrip(orig: u32, shift in 1u32..4, n in 0u8..=15) {
+            let mut wire = orig;
+            for _ in 0..n {
+                wire = boost_once(wire, shift);
+            }
+            prop_assert_eq!(unboost(wire, n, shift), orig);
+        }
+
+        /// Round-trips survive the full u8 `retcnt` range, including
+        /// `retcnt >= 64` where the accumulated rotation wraps past 32 bits
+        /// (the wire field only carries 4 bits, but the arithmetic must not
+        /// silently break if a future header widens it).
+        #[test]
+        fn roundtrip_full_u8_retcnt(orig: u32, shift in 1u32..32, n: u8) {
             let mut wire = orig;
             for _ in 0..n {
                 wire = boost_once(wire, shift);

@@ -245,6 +245,34 @@ mod tests {
     }
 
     #[test]
+    fn false_positive_rate_under_adversarial_inserts() {
+        // Adversarial load: mine keys that all land in a handful of
+        // buckets, forcing eviction walks and maximal fingerprint churn,
+        // then measure the false-positive rate on a disjoint probe set.
+        // Clustered occupancy must not inflate FP rate beyond the
+        // fingerprint bound (~2^-13 per probe times slots examined).
+        let mut f = CuckooFilter::with_capacity(4096);
+        let mask = f.bucket_mask;
+        let mut inserted = Vec::new();
+        let mut k = 0u64;
+        while inserted.len() < 2000 {
+            // Keys whose primary bucket index is one of 8 target buckets.
+            if (mix64(k) as usize) & mask < 8 && f.insert(k) {
+                inserted.push(k);
+            }
+            k += 1;
+        }
+        // No false negatives for the keys the filter accepted.
+        for &key in &inserted {
+            assert!(f.contains(key), "false negative for adversarial key {key}");
+        }
+        // Probe keys disjoint from the insert stream (the miner only
+        // consumed keys below `k`).
+        let fps = (k + 1..k + 100_001).filter(|&p| f.contains(p)).count();
+        assert!(fps < 150, "adversarial FP rate too high: {fps}/100000");
+    }
+
+    #[test]
     fn remove_works() {
         let mut f = CuckooFilter::with_capacity(128);
         for k in 0..100u64 {

@@ -126,6 +126,13 @@ impl<T> PieoQueue<T> {
             // The root is a min level.
             self.trickle_down::<true>(0);
         }
+        #[cfg(feature = "audit")]
+        if let Some(next) = self.peek_min_rank() {
+            assert!(
+                rank <= next,
+                "audit: PIEO pop_min rank regression ({rank} popped, {next} remains)"
+            );
+        }
         Some((rank, item))
     }
 
@@ -143,6 +150,13 @@ impl<T> PieoQueue<T> {
             // idx is 1 or 2 here — a max level. (max_index returns 0 only
             // for a single-element heap, which is empty after the pop.)
             self.trickle_down::<false>(idx);
+        }
+        #[cfg(feature = "audit")]
+        if let Some(next) = self.peek_max_rank() {
+            assert!(
+                rank >= next,
+                "audit: PIEO pop_max rank regression ({rank} popped, {next} remains)"
+            );
         }
         Some((rank, item))
     }

@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vertigo_simcore::{EventBackend, SimDuration};
-use vertigo_workload::{IncastSpec, TopoKind};
+use vertigo_workload::{FaultSchedule, IncastSpec, TopoKind};
 
 /// Scale preset for a harness invocation.
 #[derive(Debug, Clone, Copy)]
@@ -142,17 +142,21 @@ pub struct Opts {
     /// Event-queue backend (`--events wheel|heap`). Results are identical
     /// either way — the flag exists for A/B benchmarking.
     pub events: EventBackend,
+    /// Fault schedule applied to every run (`--faults SPEC`; see
+    /// `vertigo_netsim::faults` for the grammar). Empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl Opts {
     /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]
-    /// [--events wheel|heap]` from args.
+    /// [--events wheel|heap] [--faults SPEC]` from args.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut scale = Scale::default_scale();
         let mut seed = 1u64;
         let mut outdir = PathBuf::from("results");
         let mut jobs = crate::sweep::default_jobs();
         let mut events = EventBackend::default();
+        let mut faults = FaultSchedule::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -175,6 +179,10 @@ impl Opts {
                 "--out" => {
                     outdir = PathBuf::from(it.next().ok_or("--out needs a value")?);
                 }
+                "--faults" => {
+                    faults = FaultSchedule::parse(it.next().ok_or("--faults needs a spec")?)
+                        .map_err(|e| format!("bad --faults: {e}"))?;
+                }
                 "--jobs" => {
                     jobs = it
                         .next()
@@ -194,6 +202,7 @@ impl Opts {
             outdir,
             jobs,
             events,
+            faults,
         })
     }
 }
@@ -324,6 +333,11 @@ mod tests {
         let h = Opts::parse(&["--events".into(), "heap".into()]).unwrap();
         assert_eq!(h.events, EventBackend::Heap);
         assert!(Opts::parse(&["--events".into(), "btree".into()]).is_err());
+        assert!(d.faults.is_empty());
+        let f = Opts::parse(&["--faults".into(), "loss:*:0.01@2ms-18ms".into()]).unwrap();
+        assert_eq!(f.faults.len(), 1);
+        assert!(Opts::parse(&["--faults".into(), "flood:*@0s-1ms".into()]).is_err());
+        assert!(Opts::parse(&["--faults".into()]).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub fn run(opts: &Opts) {
                 spec.horizon = s.horizon;
                 spec.seed = opts.seed;
                 spec.event_backend = opts.events;
+                spec.faults = opts.faults;
                 cells.push(Cell::new(
                     format!("fig5 bg{bg_pct} load{total} {}", sys.name()),
                     move || {

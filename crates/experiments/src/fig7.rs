@@ -45,6 +45,7 @@ pub fn run(opts: &Opts) {
                 spec.horizon = s.ft_horizon;
                 spec.seed = opts.seed;
                 spec.event_backend = opts.events;
+                spec.faults = opts.faults;
                 let out = spec.run();
                 let r = &out.report;
                 summary.row(vec![

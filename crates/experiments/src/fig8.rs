@@ -39,6 +39,7 @@ pub fn run(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.faults = opts.faults;
             cells.push(Cell::new(
                 format!("fig8 scale{scale} {}", sys.name()),
                 move || {

@@ -37,6 +37,7 @@ pub fn run(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.faults = opts.faults;
             cells.push(Cell::new(format!("fig9 {flow_kb}KB {name}"), move || {
                 let out = spec.run();
                 let r = &out.report;

@@ -31,6 +31,7 @@ pub fn run(opts: &Opts) {
                 spec.horizon = s.horizon;
                 spec.seed = opts.seed;
                 spec.event_backend = opts.events;
+                spec.faults = opts.faults;
                 let out = spec.run();
                 let r = &out.report;
                 t.row(vec![

@@ -25,6 +25,7 @@ pub fn run(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.faults = opts.faults;
             cells.push(Cell::new(
                 format!("table2 {}+{}", sys.name(), cc.name()),
                 move || {

@@ -36,6 +36,7 @@ pub fn run(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.faults = opts.faults;
             spec.vertigo.discipline = disc;
             let out = spec.run();
             cells.push(fmt_secs(out.report.qct_mean));

@@ -175,6 +175,11 @@ impl Host {
         self.senders.len()
     }
 
+    /// Packets waiting in the NIC egress queue (conservation audit).
+    pub fn nic_queued_pkts(&self) -> u64 {
+        self.nic_q.len() as u64
+    }
+
     /// Opens a new outgoing flow.
     pub fn start_flow(
         &mut self,
@@ -198,6 +203,9 @@ impl Host {
     /// A packet arrived from the network.
     pub fn on_arrive(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
         debug_assert_eq!(pkt.dst, self.id, "mis-delivered packet");
+        // Custody transfer: the host now owns this packet (packets parked
+        // in the ordering buffer count as consumed).
+        ctx.rec.audit.on_host_consumed();
         match pkt.kind {
             PacketKind::Data(_) if pkt.is_trimmed() => {
                 // A header stub: explicit loss notice, bypasses ordering.
@@ -373,6 +381,11 @@ impl Host {
     }
 
     fn enqueue_nic(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
+        // Single packet-creation site: every data and ACK packet a host
+        // materializes passes through here (the conservation audit's
+        // `created` tally; an immediate overflow drop still counts — it
+        // shows up on the `drops` side of the ledger).
+        ctx.rec.audit.on_packet_created();
         if self.nic_bytes + pkt.wire_size as u64 > self.cfg.nic_buffer_bytes {
             ctx.rec.on_drop(DropCause::HostQueue, pkt.wire_size);
             pool::recycle(pkt);
@@ -395,16 +408,16 @@ impl Host {
         // Timestamp at the moment the packet hits the wire (Swift-style
         // NIC hardware timestamping).
         pkt.sent_at = ctx.now;
-        let ser = self.link.tx_time(pkt.wire_size);
         ctx.events.push_after(
-            ser,
+            self.link.tx_time(pkt.wire_size),
             Event::TxDone {
                 node: self.id,
                 port: PortId(0),
             },
         );
+        ctx.rec.audit.on_wire_tx();
         ctx.events.push_after(
-            ser + self.link.prop_delay,
+            self.link.wire_time(pkt.wire_size),
             Event::Arrive {
                 node: self.peer,
                 port: self.peer_port,

@@ -14,7 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 pub mod events;
+pub mod faults;
 pub mod host;
 pub mod link;
 pub mod policy;
@@ -25,6 +27,7 @@ pub mod telemetry;
 pub mod topology;
 
 pub use events::{Ctx, Event};
+pub use faults::{FaultKind, FaultSchedule, FaultTarget, FaultWindow, MAX_FAULTS};
 pub use host::{Host, HostConfig, HostStats};
 pub use link::LinkParams;
 pub use policy::{BufferPolicy, ForwardPolicy, SwitchConfig};

@@ -26,10 +26,16 @@ impl LinkParams {
         SimDuration::tx_time(bytes as u64, self.rate_bps)
     }
 
+    /// Total wire occupancy of a packet: serialization plus propagation.
+    /// This is the delay from TX start to the peer's `Arrive` event.
+    pub fn wire_time(&self, bytes: u32) -> SimDuration {
+        self.tx_time(bytes) + self.prop_delay
+    }
+
     /// When the last byte of a packet sent at `start` arrives at the peer
     /// (store-and-forward: serialization plus propagation).
     pub fn arrival_at(&self, start: SimTime, bytes: u32) -> SimTime {
-        start + self.tx_time(bytes) + self.prop_delay
+        start + self.wire_time(bytes)
     }
 }
 
@@ -41,6 +47,7 @@ mod tests {
     fn timings() {
         let l = LinkParams::gbps(10, 500);
         assert_eq!(l.tx_time(1500), SimDuration::from_nanos(1200));
+        assert_eq!(l.wire_time(1500), SimDuration::from_nanos(1700));
         let t0 = SimTime::from_micros(1);
         assert_eq!(
             l.arrival_at(t0, 1500),

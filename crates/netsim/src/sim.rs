@@ -3,6 +3,7 @@
 //! horizon, and produces a [`Report`].
 
 use crate::events::{Ctx, Event};
+use crate::faults::{FaultAction, FaultSchedule, FaultState};
 use crate::host::{Host, HostConfig};
 use crate::link::LinkParams;
 use crate::policy::SwitchConfig;
@@ -11,7 +12,7 @@ use crate::switch::{Port, Switch};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::topology::Topology;
 use std::sync::Arc;
-use vertigo_pkt::{mix64, FlowId, NodeId, QueryId};
+use vertigo_pkt::{mix64, pool, FlowId, NodeId, QueryId};
 use vertigo_simcore::{EventBackend, EventQueue, SimDuration, SimRng, SimTime};
 use vertigo_stats::{Recorder, Report};
 
@@ -123,6 +124,7 @@ pub struct Simulation {
     next_flow: u64,
     next_query: u64,
     telemetry: Option<(TelemetryConfig, Telemetry)>,
+    faults: Option<FaultState>,
 }
 
 impl Simulation {
@@ -197,7 +199,25 @@ impl Simulation {
             next_flow: 1,
             next_query: 1,
             telemetry: None,
+            faults: None,
         }
+    }
+
+    /// Installs a fault schedule, compiled against this simulation's
+    /// topology. Call before [`Simulation::run`]. Faults draw from a
+    /// dedicated RNG stream forked off the run seed, so installing a
+    /// schedule never perturbs switch or workload randomness.
+    ///
+    /// # Panics
+    /// Panics if the schedule targets a link or node that does not exist
+    /// in the topology (a configuration bug, not a runtime condition).
+    pub fn install_faults(&mut self, sched: &FaultSchedule) {
+        if sched.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let rng = self.rng.fork(0xFA17);
+        self.faults = Some(FaultState::compile(sched, &self.topo, rng));
     }
 
     /// Enables fabric telemetry at the given sampling interval. Call
@@ -289,11 +309,36 @@ impl Simulation {
             rng,
             rec,
             telemetry,
+            faults,
             ..
         } = self;
         // Combined peek-then-pop: one heap access per iteration, and events
         // beyond the horizon stay queued.
         while let Some((now, ev)) = events.pop_until(horizon) {
+            // Fault interception happens at dispatch, before any node sees
+            // the event: drops are charged to the recorder, deferrals are
+            // re-enqueued at the fault-window end (same-time events pop in
+            // insertion order, so relative order among deferred events is
+            // preserved on both backends).
+            if let Some(fs) = faults.as_mut() {
+                match fs.intercept(now, &ev) {
+                    FaultAction::Pass => {}
+                    FaultAction::Defer(until) => {
+                        rec.fault_events += 1;
+                        events.push(until.max(now), ev);
+                        continue;
+                    }
+                    FaultAction::Drop(cause) => {
+                        rec.fault_events += 1;
+                        if let Event::Arrive { pkt, .. } = ev {
+                            rec.audit.on_wire_rx();
+                            rec.on_drop(cause, pkt.wire_size);
+                            pool::recycle(pkt);
+                        }
+                        continue;
+                    }
+                }
+            }
             let mut ctx = Ctx {
                 now,
                 events,
@@ -301,10 +346,13 @@ impl Simulation {
                 rng,
             };
             match ev {
-                Event::Arrive { node, port, pkt } => match &mut nodes[node.index()] {
-                    Node::Host(h) => h.on_arrive(pkt, &mut ctx),
-                    Node::Switch(s) => s.on_arrive(port, pkt, &mut ctx),
-                },
+                Event::Arrive { node, port, pkt } => {
+                    ctx.rec.audit.on_wire_rx();
+                    match &mut nodes[node.index()] {
+                        Node::Host(h) => h.on_arrive(pkt, &mut ctx),
+                        Node::Switch(s) => s.on_arrive(port, pkt, &mut ctx),
+                    }
+                }
                 Event::TxDone { node, port } => match &mut nodes[node.index()] {
                     Node::Host(h) => h.on_tx_done(&mut ctx),
                     Node::Switch(s) => s.on_tx_done(port, &mut ctx),
@@ -337,6 +385,8 @@ impl Simulation {
                             ctx.events.push(next, Event::TelemetrySample);
                         }
                     }
+                    #[cfg(feature = "audit")]
+                    audit_conservation(nodes, ctx.rec, "telemetry sample");
                 }
                 Event::FlowStart {
                     src,
@@ -358,10 +408,27 @@ impl Simulation {
                 self.rec.rtos += s.rtos;
             }
         }
+        // End-of-run invariants: conservation must close over whatever is
+        // still parked in queues or on the wire at the horizon, and every
+        // finished flow's byte ledger must balance.
+        #[cfg(feature = "audit")]
+        {
+            audit_conservation(&self.nodes, &mut self.rec, "end of run");
+            crate::audit::check_flow_accounting(&mut self.rec);
+        }
         let mut report = Report::from_recorder(&self.rec, horizon);
         report.events_scheduled = self.events.scheduled_total();
         report.peak_pending_events = self.events.peak_pending() as u64;
         report
+    }
+
+    /// Test-only mutation hook: skews the audit's `created` tally by one
+    /// so the mutation smoke test can prove the conservation check
+    /// actually detects a seeded accounting bug (guarding the auditor
+    /// against rotting into a no-op).
+    #[cfg(feature = "audit")]
+    pub fn audit_inject_phantom(&mut self) {
+        self.rec.audit.created += 1;
     }
 
     /// High-water mark of single-port queue occupancy across switches.
@@ -410,6 +477,21 @@ impl Simulation {
         }
         total
     }
+}
+
+/// Gathers live queue occupancy from every node and runs the
+/// conservation check (see `crate::audit`).
+#[cfg(feature = "audit")]
+fn audit_conservation(nodes: &[Node], rec: &mut Recorder, where_: &str) {
+    let mut nic_queued = 0u64;
+    let mut switch_queued = 0u64;
+    for n in nodes {
+        match n {
+            Node::Host(h) => nic_queued += h.nic_queued_pkts(),
+            Node::Switch(s) => switch_queued += s.queued_pkts(),
+        }
+    }
+    crate::audit::check_conservation(rec, nic_queued, switch_queued, where_);
 }
 
 impl std::fmt::Debug for Simulation {

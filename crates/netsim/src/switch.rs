@@ -41,6 +41,9 @@ pub struct Switch {
     drill_best: Vec<Option<u16>>,
     /// Per-switch ECMP hash salt.
     ecmp_salt: u64,
+    /// Reusable buffer for deflection-candidate port lists, so deflecting
+    /// a packet allocates nothing on the steady path.
+    deflect_scratch: Vec<u16>,
     /// High-water mark of any single port queue (diagnostics).
     pub max_port_bytes: u64,
 }
@@ -66,6 +69,7 @@ impl Switch {
             sw: switch_index,
             drill_best: vec![None; hosts],
             ecmp_salt,
+            deflect_scratch: Vec::new(),
             max_port_bytes: 0,
         }
     }
@@ -92,6 +96,11 @@ impl Switch {
             .map(|p| p.queue.bytes())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total packets queued across all ports (conservation audit).
+    pub fn queued_pkts(&self) -> u64 {
+        self.ports.iter().map(|p| p.queue.len() as u64).sum()
     }
 
     /// Handles a packet arriving on `in_port`.
@@ -230,18 +239,24 @@ impl Switch {
                 }
                 // Random port with space (excluding the full output and
                 // host ports that are not the destination's).
-                let cands = self.deflect_candidates(out, pkt.dst);
-                let with_space: Vec<u16> = cands
-                    .into_iter()
-                    .filter(|&p| self.ports[p as usize].queue.fits(&pkt, cap))
-                    .collect();
-                if with_space.is_empty() {
+                let mut cands = self.deflect_candidates(out, pkt.dst);
+                cands.retain(|&p| self.ports[p as usize].queue.fits(&pkt, cap));
+                if cands.is_empty() {
+                    self.deflect_scratch = cands;
                     ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
                     pool::recycle(pkt);
                     return;
                 }
-                let p = with_space[ctx.rng.index(with_space.len())];
+                let p = cands[ctx.rng.index(cands.len())];
+                self.deflect_scratch = cands;
                 pkt.deflections += 1;
+                #[cfg(feature = "audit")]
+                assert!(
+                    pkt.deflections <= max_deflections,
+                    "audit: DIBS deflection count {} exceeds policy cap {}",
+                    pkt.deflections,
+                    max_deflections
+                );
                 ctx.rec.deflections += 1;
                 Self::maybe_mark_ecn(&self.cfg, &self.ports[p as usize].queue, &mut pkt, ctx);
                 self.ports[p as usize].queue.push(pkt);
@@ -285,16 +300,33 @@ impl Switch {
     /// Ports a packet may be deflected to: everything except the full
     /// output port and host-facing ports that do not lead to the packet's
     /// destination (a foreign host would simply discard it).
-    fn deflect_candidates(&self, full_port: u16, dst: NodeId) -> Vec<u16> {
-        (0..self.ports.len() as u16)
-            .filter(|&p| {
-                if p == full_port {
-                    return false;
-                }
+    ///
+    /// Returns the switch's scratch buffer, detached to sidestep the
+    /// borrow on `self`; callers hand it back by assigning
+    /// `self.deflect_scratch` once done, so the steady-state deflection
+    /// path performs no allocation.
+    fn deflect_candidates(&mut self, full_port: u16, dst: NodeId) -> Vec<u16> {
+        let mut cands = std::mem::take(&mut self.deflect_scratch);
+        cands.clear();
+        cands.extend((0..self.ports.len() as u16).filter(|&p| {
+            if p == full_port {
+                return false;
+            }
+            let port = &self.ports[p as usize];
+            !(port.host_facing && port.peer != dst)
+        }));
+        debug_assert!(
+            !cands.contains(&full_port),
+            "deflection candidates include the full output port"
+        );
+        debug_assert!(
+            cands.iter().all(|&p| {
                 let port = &self.ports[p as usize];
-                !(port.host_facing && port.peer != dst)
-            })
-            .collect()
+                !port.host_facing || port.peer == dst
+            }),
+            "deflection candidates include a host port that is not the destination's"
+        );
+        cands
     }
 
     /// Vertigo deflection: power-of-n placement; on total congestion force
@@ -309,6 +341,7 @@ impl Switch {
         let cap = self.cfg.port_buffer_bytes;
         let cands = self.deflect_candidates(full_port, victim.dst);
         if cands.is_empty() {
+            self.deflect_scratch = cands;
             ctx.rec.on_drop(DropCause::DeflectionFull, victim.wire_size);
             pool::recycle(victim);
             return;
@@ -320,6 +353,7 @@ impl Switch {
             .into_iter()
             .map(|i| cands[i])
             .collect();
+        self.deflect_scratch = cands;
         // Least-loaded sampled queue.
         let chosen = *sample
             .iter()
@@ -365,16 +399,16 @@ impl Switch {
             return;
         };
         p.busy = true;
-        let ser = p.link.tx_time(pkt.wire_size);
         ctx.events.push_after(
-            ser,
+            p.link.tx_time(pkt.wire_size),
             Event::TxDone {
                 node: self.id,
                 port: PortId(port),
             },
         );
+        ctx.rec.audit.on_wire_tx();
         ctx.events.push_after(
-            ser + p.link.prop_delay,
+            p.link.wire_time(pkt.wire_size),
             Event::Arrive {
                 node: p.peer,
                 port: p.peer_port,
@@ -397,5 +431,77 @@ impl std::fmt::Debug for Switch {
             .field("ports", &self.ports.len())
             .field("queued_bytes", &self.queued_bytes())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::RouteTable;
+
+    /// A 4-port switch: ports 0-1 host-facing (hosts 0 and 1), ports 2-3
+    /// fabric-facing (switches 3 and 4). Node ids: hosts 0..3, switch 2
+    /// is this one.
+    fn test_switch() -> Switch {
+        let link = LinkParams::gbps(10, 500);
+        let mk_port = |peer: u32, host_facing: bool| Port {
+            peer: NodeId(peer),
+            peer_port: PortId(0),
+            link,
+            queue: PortQueue::fifo(),
+            busy: false,
+            host_facing,
+        };
+        let ports = vec![
+            mk_port(0, true),
+            mk_port(1, true),
+            mk_port(3, false),
+            mk_port(4, false),
+        ];
+        // Routes for this single switch (row 0): host 0 via port 0,
+        // host 1 via port 1, host 2 (elsewhere) via fabric ports 2 and 3.
+        let routes = RouteTable::from_nested(&[vec![vec![0], vec![1], vec![2, 3]]]);
+        Switch::new(
+            NodeId(2),
+            SwitchConfig::ecmp(),
+            ports,
+            Arc::new(routes),
+            0,
+            7,
+        )
+    }
+
+    #[test]
+    fn deflect_candidates_exclude_full_port_and_foreign_hosts() {
+        let mut sw = test_switch();
+        // Packet to host 0, full output port 2: its own host port 0 stays
+        // a candidate, host 1's port never is, port 2 is excluded.
+        let cands = sw.deflect_candidates(2, NodeId(0));
+        assert_eq!(cands, vec![0, 3]);
+        sw.deflect_scratch = cands;
+        // Packet to a remote host (node 5 behind the fabric): both host
+        // ports are non-routes, only the other fabric port remains.
+        let cands = sw.deflect_candidates(2, NodeId(5));
+        assert_eq!(cands, vec![3]);
+        sw.deflect_scratch = cands;
+        // The full port is excluded even when it is the destination's own
+        // host port.
+        let cands = sw.deflect_candidates(0, NodeId(0));
+        assert_eq!(cands, vec![2, 3]);
+        sw.deflect_scratch = cands;
+    }
+
+    #[test]
+    fn deflect_candidates_reuse_scratch_capacity() {
+        let mut sw = test_switch();
+        let cands = sw.deflect_candidates(2, NodeId(0));
+        let cap = cands.capacity();
+        let ptr = cands.as_ptr();
+        sw.deflect_scratch = cands;
+        // The second call reuses the same allocation: no per-packet Vec.
+        let cands = sw.deflect_candidates(3, NodeId(1));
+        assert_eq!(cands.capacity(), cap);
+        assert_eq!(cands.as_ptr(), ptr);
+        sw.deflect_scratch = cands;
     }
 }

@@ -90,6 +90,16 @@ impl<E> EventQueue<E> {
     /// panics, in release builds the event is clamped to `now`.
     #[inline]
     pub fn push(&mut self, at: SimTime, ev: E) {
+        // Under the audit feature the past-scheduling check is a hard
+        // error even in release builds (the backends debug-assert and
+        // clamp otherwise).
+        #[cfg(feature = "audit")]
+        assert!(
+            at >= self.now(),
+            "audit: event scheduled in the past (at {:?} < now {:?})",
+            at,
+            self.now()
+        );
         match &mut self.inner {
             Backend::Wheel(q) => q.push(at, ev),
             Backend::Heap(q) => q.push(at, ev),

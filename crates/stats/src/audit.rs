@@ -1,0 +1,143 @@
+//! Conservation-audit tallies.
+//!
+//! [`AuditHooks`] rides inside [`crate::Recorder`] so every component that
+//! already reports metrics can also report packet custody transitions:
+//!
+//! * **created** — a host materialized a packet and handed it to its NIC
+//!   queue (`Host::enqueue_nic` is the single creation site for both data
+//!   and ACK packets);
+//! * **wire** — packets currently serialized onto a link, i.e. carried by a
+//!   pending `Arrive` event (`+1` when a node starts transmitting, `-1`
+//!   when the driver pops the `Arrive`);
+//! * **consumed** — a destination host accepted the packet
+//!   (`Host::on_arrive`); packets parked in the RX ordering buffer count
+//!   as consumed.
+//!
+//! The simulation driver closes the loop: at every telemetry sample and at
+//! the end of every run it checks
+//!
+//! ```text
+//! created == consumed + drops(all causes) + wire + nic_queued + switch_queued
+//! ```
+//!
+//! and panics with a precise per-term diff on violation.
+//!
+//! Everything here compiles to a no-op unless the `audit` cargo feature is
+//! enabled: the struct has no fields and the `#[inline]` hook bodies are
+//! empty, so fault-free production runs are bit-identical with and without
+//! the feature. The hooks observe; they never perturb.
+
+/// Packet-custody counters for the conservation audit.
+///
+/// All methods are safe to call unconditionally; without the `audit`
+/// feature they are empty `#[inline]` functions.
+#[derive(Debug, Default)]
+pub struct AuditHooks {
+    /// Packets created by hosts (data + ACKs), counted at NIC enqueue.
+    #[cfg(feature = "audit")]
+    pub created: u64,
+    /// Packets accepted by a destination host.
+    #[cfg(feature = "audit")]
+    pub consumed: u64,
+    /// Packets currently in flight on a link (pending `Arrive` events).
+    #[cfg(feature = "audit")]
+    pub wire: u64,
+    /// Invariant evaluations performed so far.
+    #[cfg(feature = "audit")]
+    pub checks: u64,
+}
+
+impl AuditHooks {
+    /// Fresh, all-zero tallies.
+    pub fn new() -> Self {
+        AuditHooks::default()
+    }
+
+    /// A host created a packet and enqueued it on its NIC.
+    #[inline]
+    pub fn on_packet_created(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            self.created += 1;
+        }
+    }
+
+    /// A node began serializing a packet onto a link (an `Arrive` event
+    /// is now pending for it).
+    #[inline]
+    pub fn on_wire_tx(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            self.wire += 1;
+        }
+    }
+
+    /// The driver popped an `Arrive` event: the packet left the wire.
+    #[inline]
+    pub fn on_wire_rx(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            self.wire = self
+                .wire
+                .checked_sub(1)
+                .expect("audit: wire count underflow (Arrive popped with no matching tx)");
+        }
+    }
+
+    /// A destination host accepted a packet.
+    #[inline]
+    pub fn on_host_consumed(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            self.consumed += 1;
+        }
+    }
+
+    /// Records one invariant evaluation.
+    #[inline]
+    pub fn on_check(&mut self) {
+        #[cfg(feature = "audit")]
+        {
+            self.checks += 1;
+        }
+    }
+
+    /// Number of invariant evaluations performed (0 without `audit`).
+    pub fn checks(&self) -> u64 {
+        #[cfg(feature = "audit")]
+        {
+            self.checks
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(all(test, feature = "audit"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custody_tallies_accumulate() {
+        let mut a = AuditHooks::new();
+        a.on_packet_created();
+        a.on_packet_created();
+        a.on_wire_tx();
+        a.on_wire_rx();
+        a.on_host_consumed();
+        a.on_check();
+        assert_eq!(a.created, 2);
+        assert_eq!(a.wire, 0);
+        assert_eq!(a.consumed, 1);
+        assert_eq!(a.checks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire count underflow")]
+    fn wire_underflow_is_caught() {
+        let mut a = AuditHooks::new();
+        a.on_wire_rx();
+    }
+}

@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod recorder;
 pub mod report;
 pub mod summary;
 
+pub use audit::AuditHooks;
 pub use recorder::{DropCause, FlowRecord, QueryRecord, Recorder, DROP_CAUSES};
 pub use report::{Report, ELEPHANT_BYTES, MICE_BYTES};
 pub use summary::{mean, percentile, percentile_sorted, Cdf, Running};

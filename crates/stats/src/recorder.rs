@@ -22,12 +22,33 @@ pub enum DropCause {
     TtlExceeded,
     /// A host NIC queue overflowed.
     HostQueue,
+    /// Injected fault: the packet traversed a link administratively down.
+    LinkDown,
+    /// Injected fault: the packet was lost in a probabilistic loss window.
+    LinkLoss,
+    /// Injected fault: the packet was corrupted in flight and discarded by
+    /// the receiving node's CRC check.
+    LinkCorrupt,
+    /// Injected fault: the packet arrived at a blackholed node.
+    Blackhole,
 }
 
 /// Number of drop causes (array sizing).
-pub const DROP_CAUSES: usize = 4;
+pub const DROP_CAUSES: usize = 8;
 
 impl DropCause {
+    /// All causes in [`DropCause::index`] order.
+    pub const ALL: [DropCause; DROP_CAUSES] = [
+        DropCause::QueueFull,
+        DropCause::DeflectionFull,
+        DropCause::TtlExceeded,
+        DropCause::HostQueue,
+        DropCause::LinkDown,
+        DropCause::LinkLoss,
+        DropCause::LinkCorrupt,
+        DropCause::Blackhole,
+    ];
+
     /// Stable index for counters.
     pub fn index(self) -> usize {
         match self {
@@ -35,6 +56,10 @@ impl DropCause {
             DropCause::DeflectionFull => 1,
             DropCause::TtlExceeded => 2,
             DropCause::HostQueue => 3,
+            DropCause::LinkDown => 4,
+            DropCause::LinkLoss => 5,
+            DropCause::LinkCorrupt => 6,
+            DropCause::Blackhole => 7,
         }
     }
 
@@ -45,7 +70,22 @@ impl DropCause {
             DropCause::DeflectionFull => "deflection-full",
             DropCause::TtlExceeded => "ttl-exceeded",
             DropCause::HostQueue => "host-queue",
+            DropCause::LinkDown => "link-down",
+            DropCause::LinkLoss => "link-loss",
+            DropCause::LinkCorrupt => "link-corrupt",
+            DropCause::Blackhole => "blackhole",
         }
+    }
+
+    /// True for the causes produced only by injected faults.
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            DropCause::LinkDown
+                | DropCause::LinkLoss
+                | DropCause::LinkCorrupt
+                | DropCause::Blackhole
+        )
     }
 }
 
@@ -138,6 +178,12 @@ pub struct Recorder {
     pub mice_queueing_secs: f64,
     /// Packets behind `mice_queueing_secs`.
     pub mice_queueing_pkts: u64,
+    /// Fault-injection interventions: fault drops plus stall/pause
+    /// deferrals. Zero on fault-free runs.
+    pub fault_events: u64,
+    /// Conservation-audit tallies (live counters only under the `audit`
+    /// cargo feature; all hooks are no-ops without it).
+    pub audit: crate::audit::AuditHooks,
 }
 
 impl Recorder {
@@ -283,15 +329,27 @@ mod tests {
 
     #[test]
     fn drop_cause_labels_unique() {
-        let causes = [
-            DropCause::QueueFull,
-            DropCause::DeflectionFull,
-            DropCause::TtlExceeded,
-            DropCause::HostQueue,
-        ];
+        let causes = DropCause::ALL;
+        for (i, c) in causes.iter().enumerate() {
+            assert_eq!(c.index(), i, "ALL must be in index order");
+        }
         let mut idx: Vec<usize> = causes.iter().map(|c| c.index()).collect();
         idx.sort_unstable();
         idx.dedup();
         assert_eq!(idx.len(), DROP_CAUSES);
+        let mut labels: Vec<&str> = causes.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DROP_CAUSES);
+    }
+
+    #[test]
+    fn fault_causes_are_flagged() {
+        assert!(!DropCause::QueueFull.is_fault());
+        assert!(!DropCause::HostQueue.is_fault());
+        assert!(DropCause::LinkDown.is_fault());
+        assert!(DropCause::LinkLoss.is_fault());
+        assert!(DropCause::LinkCorrupt.is_fault());
+        assert!(DropCause::Blackhole.is_fault());
     }
 }

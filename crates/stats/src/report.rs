@@ -1,6 +1,6 @@
 //! Turning raw records into the paper's reported quantities.
 
-use crate::recorder::Recorder;
+use crate::recorder::{Recorder, DROP_CAUSES};
 use crate::summary::{mean, percentile_sorted, Cdf};
 use vertigo_simcore::SimTime;
 
@@ -48,6 +48,9 @@ pub struct Report {
 
     /// Packet drops (all causes).
     pub drops: u64,
+    /// Packet drops split by [`crate::DropCause`] index (fault-injection
+    /// causes occupy the upper half of the array).
+    pub drops_by_cause: [u64; DROP_CAUSES],
     /// Drop fraction of transmitted data packets.
     pub drop_rate: f64,
     /// Deflection events.
@@ -70,6 +73,15 @@ pub struct Report {
     /// High-water mark of pending events in the queue. Deflection storms
     /// show up here as a spike over quiet runs.
     pub peak_pending_events: u64,
+
+    /// Fault-injection interventions (fault drops + stall/pause event
+    /// deferrals). Zero on fault-free runs.
+    pub fault_events: u64,
+    /// Conservation-audit invariant evaluations performed. Zero unless the
+    /// workspace was built with `--features audit`; intentionally excluded
+    /// from every stdout/CSV table so audit and non-audit builds emit
+    /// byte-identical output.
+    pub audit_checks: u64,
 
     /// Sorted FCT samples (seconds) for CDF plotting.
     pub fct_samples: Vec<f64>,
@@ -137,6 +149,7 @@ impl Report {
                 0.0
             },
             drops: rec.total_drops(),
+            drops_by_cause: rec.drops,
             drop_rate: rec.total_drops() as f64 / data_sent as f64,
             deflections: rec.deflections,
             mean_hops: rec.hops_delivered as f64 / delivered as f64,
@@ -146,6 +159,8 @@ impl Report {
             ecn_marks: rec.ecn_marks,
             events_scheduled: 0,
             peak_pending_events: 0,
+            fault_events: rec.fault_events,
+            audit_checks: rec.audit.checks(),
             fct_samples: fct,
             qct_samples: qct,
         }

@@ -10,7 +10,8 @@
 use crate::traffic::WorkloadSpec;
 use vertigo_core::{MarkingConfig, MarkingDiscipline, OrderingConfig, OrderingMode};
 use vertigo_netsim::{
-    BufferPolicy, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig, TopologySpec,
+    BufferPolicy, FaultSchedule, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig,
+    TopologySpec,
 };
 use vertigo_simcore::{EventBackend, SimDuration};
 use vertigo_stats::Report;
@@ -130,6 +131,10 @@ pub struct RunSpec {
     /// Event-queue backend (results are backend-independent; the heap
     /// exists for A/B benchmarking and oracle replays).
     pub event_backend: EventBackend,
+    /// Deterministic fault schedule (empty by default). Faults draw from
+    /// their own RNG stream, so two specs differing only here offer
+    /// identical traffic.
+    pub faults: FaultSchedule,
 }
 
 /// What a run produced.
@@ -161,6 +166,7 @@ impl RunSpec {
             vertigo: VertigoTuning::default(),
             port_buffer_bytes: 300 * 1000,
             event_backend: EventBackend::default(),
+            faults: FaultSchedule::new(),
         }
     }
 
@@ -257,6 +263,9 @@ impl RunSpec {
         };
         let mut sim = Simulation::new_with_events(&cfg, self.event_backend);
         self.workload.install(&mut sim);
+        if !self.faults.is_empty() {
+            sim.install_faults(&self.faults);
+        }
         sim
     }
 

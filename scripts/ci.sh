@@ -10,6 +10,17 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cargo test --features audit -q"
+cargo test --workspace --features audit -q
+
+echo "==> mutation smoke: audit layer must catch a seeded accounting bug"
+cargo test -p vertigo-netsim --features audit -q --test audit seeded_phantom_packet_is_caught
+
+echo "==> audit observes, never perturbs: digest diff"
+cargo run --release --quiet --example audit_digest > /tmp/vertigo_digest_plain.txt
+cargo run --release --quiet --features audit --example audit_digest > /tmp/vertigo_digest_audit.txt
+diff /tmp/vertigo_digest_plain.txt /tmp/vertigo_digest_audit.txt
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
