@@ -189,6 +189,13 @@ impl<T> OrderingComponent<T> {
         self.flows.values().filter_map(|f| f.deadline).min()
     }
 
+    /// The armed τ release deadline for one flow, if any (provenance
+    /// tracing reads this to record the deadline a buffered packet waits
+    /// on; `None` = disarmed or flow untracked).
+    pub fn flow_deadline(&self, flow: FlowId) -> Option<SimTime> {
+        self.flows.get(&flow).and_then(|f| f.deadline)
+    }
+
     /// In SRPT mode the "earliest missing packet" has the *largest* RFS in
     /// the buffer; in LAS mode the smallest.
     fn head_key(mode: OrderingMode, ooo: &BTreeMap<u64, OooEntry<T>>) -> Option<u64> {

@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vertigo_simcore::{EventBackend, SimDuration};
-use vertigo_workload::{FaultSchedule, IncastSpec, TopoKind};
+use vertigo_workload::{FaultSchedule, IncastSpec, TopoKind, TraceSpec};
 
 /// Scale preset for a harness invocation.
 #[derive(Debug, Clone, Copy)]
@@ -145,11 +145,16 @@ pub struct Opts {
     /// Fault schedule applied to every run (`--faults SPEC`; see
     /// `vertigo_netsim::faults` for the grammar). Empty by default.
     pub faults: FaultSchedule,
+    /// Provenance trace request applied to every run (`--trace
+    /// PATH[:filter]`; see `vertigo_netsim::trace` for the grammar).
+    /// Requires a binary built with `--features trace`.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Opts {
     /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]
-    /// [--events wheel|heap] [--faults SPEC]` from args.
+    /// [--events wheel|heap] [--faults SPEC] [--trace PATH[:filter]]`
+    /// from args.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut scale = Scale::default_scale();
         let mut seed = 1u64;
@@ -157,6 +162,7 @@ impl Opts {
         let mut jobs = crate::sweep::default_jobs();
         let mut events = EventBackend::default();
         let mut faults = FaultSchedule::new();
+        let mut trace = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -183,6 +189,12 @@ impl Opts {
                     faults = FaultSchedule::parse(it.next().ok_or("--faults needs a spec")?)
                         .map_err(|e| format!("bad --faults: {e}"))?;
                 }
+                "--trace" => {
+                    trace = Some(
+                        TraceSpec::parse(it.next().ok_or("--trace needs a path")?)
+                            .map_err(|e| format!("bad --trace: {e}"))?,
+                    );
+                }
                 "--jobs" => {
                     jobs = it
                         .next()
@@ -203,6 +215,7 @@ impl Opts {
             jobs,
             events,
             faults,
+            trace,
         })
     }
 }
@@ -338,6 +351,13 @@ mod tests {
         assert_eq!(f.faults.len(), 1);
         assert!(Opts::parse(&["--faults".into(), "flood:*@0s-1ms".into()]).is_err());
         assert!(Opts::parse(&["--faults".into()]).is_err());
+        assert!(d.trace.is_none());
+        let t = Opts::parse(&["--trace".into(), "out/t.vtrace:flow=3,time=1ms-".into()]).unwrap();
+        let spec = t.trace.unwrap();
+        assert_eq!(spec.path, PathBuf::from("out/t.vtrace"));
+        assert_eq!(spec.filter.flow, Some(3));
+        assert!(Opts::parse(&["--trace".into(), "t.vtrace:bogus=1".into()]).is_err());
+        assert!(Opts::parse(&["--trace".into()]).is_err());
     }
 
     #[test]

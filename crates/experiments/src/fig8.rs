@@ -40,10 +40,11 @@ pub fn run(opts: &Opts) {
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
             spec.faults = opts.faults;
+            let trace = opts.trace.clone();
             cells.push(Cell::new(
                 format!("fig8 scale{scale} {}", sys.name()),
                 move || {
-                    let out = spec.run();
+                    let out = spec.run_with_trace(trace.as_ref());
                     let r = &out.report;
                     vec![
                         scale.to_string(),

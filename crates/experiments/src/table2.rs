@@ -26,10 +26,11 @@ pub fn run(opts: &Opts) {
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
             spec.faults = opts.faults;
+            let trace = opts.trace.clone();
             cells.push(Cell::new(
                 format!("table2 {}+{}", sys.name(), cc.name()),
                 move || {
-                    let out = spec.run();
+                    let out = spec.run_with_trace(trace.as_ref());
                     vec![
                         cc.name().to_string(),
                         sys.name().to_string(),

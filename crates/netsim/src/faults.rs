@@ -269,7 +269,8 @@ fn parse_node(s: &str, item: &str) -> Result<u32, String> {
 }
 
 /// Parses `<float><unit>` where unit is ns/us/ms/s (e.g. `360us`, `2.5ms`).
-fn parse_time(s: &str) -> Result<SimTime, String> {
+/// Shared with the trace-filter grammar (`time=1ms-2ms`).
+pub(crate) fn parse_time(s: &str) -> Result<SimTime, String> {
     let split = s
         .find(|c: char| c.is_ascii_alphabetic())
         .ok_or_else(|| format!("time `{s}`: missing unit (ns|us|ms|s)"))?;

@@ -16,11 +16,13 @@
 
 use crate::events::{Ctx, Event};
 use crate::link::LinkParams;
+use crate::trace::deliver_reason_code;
 use std::collections::{BTreeMap, VecDeque};
+use vertigo_core::boost::unboost;
 use vertigo_core::{Delivered, MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
 use vertigo_pkt::{pool, FlowId, NodeId, Packet, PacketKind, PortId, QueryId};
 use vertigo_simcore::SimTime;
-use vertigo_stats::DropCause;
+use vertigo_stats::{DropCause, TraceKind, TraceRecord, TRACE_NO_RANK};
 use vertigo_transport::{FlowReceiver, FlowSender, TransportConfig};
 
 /// Host-side configuration.
@@ -180,6 +182,44 @@ impl Host {
         self.nic_q.len() as u64
     }
 
+    /// Provenance: one RX-ordering record. `a` = recovered (un-boosted)
+    /// RFS, `b` = the flow's armed τ deadline *after* processing
+    /// ([`TRACE_NO_RANK`] when disarmed). Callers guard with
+    /// `ctx.rec.trace.enabled()`.
+    #[inline]
+    fn trace_rx(
+        &self,
+        kind: TraceKind,
+        uid: u64,
+        flow: FlowId,
+        rfs: u64,
+        flags: u8,
+        ctx: &mut Ctx,
+    ) {
+        let deadline = self
+            .ordering
+            .as_ref()
+            .and_then(|o| o.flow_deadline(flow))
+            .map_or(TRACE_NO_RANK, |d| d.as_nanos());
+        ctx.rec.trace.record(TraceRecord {
+            time_ns: ctx.now.as_nanos(),
+            uid,
+            flow: flow.0,
+            a: rfs,
+            b: deadline,
+            node: self.id.0,
+            kind: kind.code(),
+            flags,
+            port: 0,
+        });
+    }
+
+    /// Recovered (un-boosted) RFS of a packet, for provenance records.
+    fn unboosted_rfs(&self, info: Option<vertigo_pkt::FlowInfo>) -> u64 {
+        let shift = self.cfg.ordering.as_ref().map_or(1, |c| c.boost_shift);
+        info.map_or(TRACE_NO_RANK, |i| unboost(i.rfs, i.retcnt, shift) as u64)
+    }
+
     /// Opens a new outgoing flow.
     pub fn start_flow(
         &mut self,
@@ -215,8 +255,35 @@ impl Host {
                 if let (Some(ordering), Some(info)) = (self.ordering.as_mut(), pkt.flowinfo) {
                     let seg = *pkt.data_seg().expect("data packet");
                     let flow = pkt.flow;
+                    let trace_on = ctx.rec.trace.enabled();
+                    let arriving_uid = pkt.uid;
+                    let stats_before = ordering.stats();
                     let mut out = std::mem::take(&mut self.deliveries);
                     ordering.on_packet(ctx.now, flow, info, seg.payload, pkt, &mut out);
+                    if trace_on {
+                        // The arriving packet's transition: in the
+                        // delivered set it yields an RxDeliver below;
+                        // otherwise the stats delta says whether it was
+                        // buffered or dropped as a duplicate (flag bit 0).
+                        let after = self.ordering.as_ref().expect("present").stats();
+                        let rfs = self.unboosted_rfs(Some(info));
+                        if after.buffered > stats_before.buffered {
+                            self.trace_rx(TraceKind::RxBuffer, arriving_uid, flow, rfs, 0, ctx);
+                        } else if after.dup_dropped > stats_before.dup_dropped {
+                            self.trace_rx(TraceKind::RxBuffer, arriving_uid, flow, rfs, 1, ctx);
+                        }
+                        for d in &out {
+                            let rfs = self.unboosted_rfs(d.item.flowinfo);
+                            self.trace_rx(
+                                TraceKind::RxDeliver,
+                                d.item.uid,
+                                d.item.flow,
+                                rfs,
+                                deliver_reason_code(d.reason),
+                                ctx,
+                            );
+                        }
+                    }
                     for d in out.drain(..) {
                         self.deliver_data(d.item, ctx);
                     }
@@ -334,6 +401,19 @@ impl Host {
         if let Some(o) = &mut self.ordering {
             let mut out = std::mem::take(&mut self.deliveries);
             o.on_timer(ctx.now, &mut out);
+            if ctx.rec.trace.enabled() {
+                for d in &out {
+                    let rfs = self.unboosted_rfs(d.item.flowinfo);
+                    self.trace_rx(
+                        TraceKind::RxDeliver,
+                        d.item.uid,
+                        d.item.flow,
+                        rfs,
+                        deliver_reason_code(d.reason),
+                        ctx,
+                    );
+                }
+            }
             for d in out.drain(..) {
                 self.deliver_data(d.item, ctx);
             }
@@ -370,6 +450,22 @@ impl Host {
                 if let Some(m) = &mut self.marking {
                     let info = m.mark(flow, seg.seq, seg.payload);
                     pkt.tag_flowinfo(info);
+                    if info.retcnt > 0 && ctx.rec.trace.enabled() {
+                        // A cuckoo-detected retransmission left the marker
+                        // boosted: a = retransmission count, b = the
+                        // rotated (boosted) RFS on the wire.
+                        ctx.rec.trace.record(TraceRecord {
+                            time_ns: ctx.now.as_nanos(),
+                            uid: pkt.uid,
+                            flow: flow.0,
+                            a: info.retcnt as u64,
+                            b: info.rfs as u64,
+                            node: self.id.0,
+                            kind: TraceKind::Boost.code(),
+                            flags: 0,
+                            port: 0,
+                        });
+                    }
                 }
                 ctx.rec.data_sent += 1;
                 self.enqueue_nic(pkt, ctx);
@@ -387,6 +483,19 @@ impl Host {
         // shows up on the `drops` side of the ledger).
         ctx.rec.audit.on_packet_created();
         if self.nic_bytes + pkt.wire_size as u64 > self.cfg.nic_buffer_bytes {
+            if ctx.rec.trace.enabled() {
+                ctx.rec.trace.record(TraceRecord {
+                    time_ns: ctx.now.as_nanos(),
+                    uid: pkt.uid,
+                    flow: pkt.flow.0,
+                    a: DropCause::HostQueue.index() as u64,
+                    b: pkt.wire_size as u64,
+                    node: self.id.0,
+                    kind: TraceKind::Drop.code(),
+                    flags: 0,
+                    port: 0,
+                });
+            }
             ctx.rec.on_drop(DropCause::HostQueue, pkt.wire_size);
             pool::recycle(pkt);
             return;

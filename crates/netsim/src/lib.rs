@@ -25,6 +25,7 @@ pub mod sim;
 pub mod switch;
 pub mod telemetry;
 pub mod topology;
+pub mod trace;
 
 pub use events::{Ctx, Event};
 pub use faults::{FaultKind, FaultSchedule, FaultTarget, FaultWindow, MAX_FAULTS};
@@ -38,3 +39,4 @@ pub use telemetry::{
     detect_bursts, Episode, IntervalClass, Telemetry, TelemetryConfig, TelemetrySample,
 };
 pub use topology::{RouteTable, Topology};
+pub use trace::{TraceSpec, DEFAULT_RING_CAPACITY};

@@ -139,6 +139,17 @@ impl PortQueue {
             PortQueue::Prio(p) => p.q.peek_max_rank(),
         }
     }
+
+    /// The rank this queue would assign (or assigned) to `pkt`: `None`
+    /// for FIFO queues, which have no rank order. Valid before a push or
+    /// after a pop — ranks derive only from the packet and the queue's
+    /// boost shift, never from residency. Used by provenance tracing.
+    pub fn rank_of(&self, pkt: &Packet) -> Option<u64> {
+        match self {
+            PortQueue::Fifo(_) => None,
+            PortQueue::Prio(p) => Some(pkt.rank(p.boost_shift)),
+        }
+    }
 }
 
 #[cfg(test)]

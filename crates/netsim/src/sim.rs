@@ -234,6 +234,24 @@ impl Simulation {
         self.telemetry.as_ref().map(|(_, t)| t)
     }
 
+    /// Arms per-packet provenance recording with the given filter and
+    /// per-node ring capacity. Call before [`Simulation::run`]; the
+    /// captured stream is available afterwards via
+    /// [`Simulation::trace_bytes`].
+    ///
+    /// Without the `trace` cargo feature this is a silent no-op (the
+    /// digest-diff harness runs the same code in both builds); callers
+    /// that must fail loudly check [`vertigo_stats::TRACE_AVAILABLE`].
+    pub fn enable_trace(&mut self, filter: vertigo_stats::TraceFilter, capacity: usize) {
+        self.rec.trace.arm(filter, self.topo.num_nodes(), capacity);
+    }
+
+    /// The captured provenance stream, serialized in the `.vtrace` on-disk
+    /// format (a valid empty trace when tracing was never armed).
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        self.rec.trace.serialize()
+    }
+
     /// The built topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -330,8 +348,25 @@ impl Simulation {
                     }
                     FaultAction::Drop(cause) => {
                         rec.fault_events += 1;
-                        if let Event::Arrive { pkt, .. } = ev {
+                        if let Event::Arrive { node, port, pkt } = ev {
                             rec.audit.on_wire_rx();
+                            if rec.trace.enabled() {
+                                // Fault drops never reach a node handler,
+                                // so provenance is recorded here at the
+                                // interception point (node/port = where
+                                // the packet would have arrived).
+                                rec.trace.record(vertigo_stats::TraceRecord {
+                                    time_ns: now.as_nanos(),
+                                    uid: pkt.uid,
+                                    flow: pkt.flow.0,
+                                    a: cause.index() as u64,
+                                    b: pkt.wire_size as u64,
+                                    node: node.0,
+                                    kind: vertigo_stats::TraceKind::Drop.code(),
+                                    flags: 0,
+                                    port: port.0,
+                                });
+                            }
                             rec.on_drop(cause, pkt.wire_size);
                             pool::recycle(pkt);
                         }

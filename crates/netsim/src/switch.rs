@@ -8,7 +8,36 @@ use crate::queue::PortQueue;
 use crate::topology::RouteTable;
 use std::sync::Arc;
 use vertigo_pkt::{ecmp_hash, pool, NodeId, Packet, PortId, MAX_HOPS};
-use vertigo_stats::DropCause;
+use vertigo_stats::{pack_ports, DropCause, TraceKind, TraceRecord, TRACE_NO_RANK};
+
+/// Emits one provenance record for `pkt`. A free function rather than a
+/// method so it can be called while a port is mutably borrowed; callers
+/// guard with `ctx.rec.trace.enabled()` (compile-time `false` without the
+/// `trace` feature, so every hook site folds away).
+#[inline]
+#[allow(clippy::too_many_arguments)] // one argument per record field
+fn trace_rec(
+    ctx: &mut Ctx,
+    node: u32,
+    kind: TraceKind,
+    pkt: &Packet,
+    a: u64,
+    b: u64,
+    flags: u8,
+    port: u16,
+) {
+    ctx.rec.trace.record(TraceRecord {
+        time_ns: ctx.now.as_nanos(),
+        uid: pkt.uid,
+        flow: pkt.flow.0,
+        a,
+        b,
+        node,
+        kind: kind.code(),
+        flags,
+        port,
+    });
+}
 
 /// One output port: queue, link, and transmit state.
 #[derive(Debug)]
@@ -107,6 +136,7 @@ impl Switch {
     pub fn on_arrive(&mut self, in_port: PortId, mut pkt: Box<Packet>, ctx: &mut Ctx) {
         pkt.hops += 1;
         if pkt.hops > MAX_HOPS {
+            self.trace_drop(&pkt, DropCause::TtlExceeded, u16::MAX, ctx);
             ctx.rec.on_drop(DropCause::TtlExceeded, pkt.wire_size);
             pool::recycle(pkt);
             return;
@@ -116,6 +146,7 @@ impl Switch {
         let out = match self.select_output(dst, &pkt, ctx) {
             Some(p) => p,
             None => {
+                self.trace_drop(&pkt, DropCause::TtlExceeded, u16::MAX, ctx);
                 ctx.rec.on_drop(DropCause::TtlExceeded, pkt.wire_size);
                 pool::recycle(pkt);
                 return;
@@ -127,50 +158,109 @@ impl Switch {
     /// Forwarding decision: pick among the equal-cost candidates.
     fn select_output(&mut self, dst: usize, pkt: &Packet, ctx: &mut Ctx) -> Option<u16> {
         let cands = self.routes.candidates(self.sw, dst);
-        match cands.len() {
+        let n = cands.len();
+        // Provenance for FwdDecision records: which policy decided (0 =
+        // forced single candidate) and, for DRILL, the remembered port
+        // going into the decision.
+        let mut policy_code = 0u64;
+        let mut remembered_before: Option<u16> = None;
+        let chosen = match n {
             0 => None,
             1 => Some(cands[0]),
-            n => match self.cfg.forward {
-                ForwardPolicy::Ecmp => {
-                    let h = ecmp_hash(pkt.flow.0, self.ecmp_salt);
-                    Some(cands[(h % n as u64) as usize])
-                }
-                ForwardPolicy::Drill { d } => {
-                    // Sample d random candidates plus the remembered best.
-                    let k = d.min(n);
-                    let mut best: Option<u16> = None;
-                    let mut best_bytes = u64::MAX;
-                    for i in ctx.rng.k_distinct(k, n) {
-                        let p = cands[i];
-                        let b = self.ports[p as usize].queue.bytes();
-                        if best.is_none() || b < best_bytes {
-                            best_bytes = b;
-                            best = Some(p);
-                        }
+            n => {
+                policy_code = self.cfg.forward.trace_code();
+                match self.cfg.forward {
+                    ForwardPolicy::Ecmp => {
+                        let h = ecmp_hash(pkt.flow.0, self.ecmp_salt);
+                        Some(cands[(h % n as u64) as usize])
                     }
-                    if let Some(m) = self.drill_best[dst] {
-                        if cands.contains(&m) && self.ports[m as usize].queue.bytes() < best_bytes {
-                            best = Some(m);
+                    ForwardPolicy::Drill { d } => {
+                        // Sample d random candidates plus the remembered best.
+                        let k = d.min(n);
+                        let mut best: Option<u16> = None;
+                        let mut best_bytes = u64::MAX;
+                        for i in ctx.rng.k_distinct(k, n) {
+                            let p = cands[i];
+                            let b = self.ports[p as usize].queue.bytes();
+                            if best.is_none() || b < best_bytes {
+                                best_bytes = b;
+                                best = Some(p);
+                            }
                         }
-                    }
-                    self.drill_best[dst] = best;
-                    best
-                }
-                ForwardPolicy::PowerOfN { n: power } => {
-                    let k = power.max(1).min(n);
-                    let mut best: Option<u16> = None;
-                    let mut best_bytes = u64::MAX;
-                    for i in ctx.rng.k_distinct(k, n) {
-                        let p = cands[i];
-                        let b = self.ports[p as usize].queue.bytes();
-                        if best.is_none() || b < best_bytes {
-                            best_bytes = b;
-                            best = Some(p);
+                        remembered_before = self.drill_best[dst];
+                        if let Some(m) = remembered_before {
+                            if cands.contains(&m)
+                                && self.ports[m as usize].queue.bytes() < best_bytes
+                            {
+                                best = Some(m);
+                            }
                         }
+                        self.drill_best[dst] = best;
+                        best
                     }
-                    best
+                    ForwardPolicy::PowerOfN { n: power } => {
+                        let k = power.max(1).min(n);
+                        let mut best: Option<u16> = None;
+                        let mut best_bytes = u64::MAX;
+                        for i in ctx.rng.k_distinct(k, n) {
+                            let p = cands[i];
+                            let b = self.ports[p as usize].queue.bytes();
+                            if best.is_none() || b < best_bytes {
+                                best_bytes = b;
+                                best = Some(p);
+                            }
+                        }
+                        best
+                    }
                 }
-            },
+            }
+        };
+        if ctx.rec.trace.enabled() {
+            if let Some(c) = chosen {
+                let b = n as u64 | ((remembered_before.map_or(0, |m| m as u64 + 1)) << 32);
+                let flags = u8::from(remembered_before == Some(c));
+                trace_rec(
+                    ctx,
+                    self.id.0,
+                    TraceKind::FwdDecision,
+                    pkt,
+                    policy_code,
+                    b,
+                    flags,
+                    c,
+                );
+            }
+        }
+        chosen
+    }
+
+    /// Provenance: records a drop of `pkt` at this switch (`port` = the
+    /// attempted output, `u16::MAX` when none was chosen yet).
+    #[inline]
+    fn trace_drop(&self, pkt: &Packet, cause: DropCause, port: u16, ctx: &mut Ctx) {
+        if ctx.rec.trace.enabled() {
+            trace_rec(
+                ctx,
+                self.id.0,
+                TraceKind::Drop,
+                pkt,
+                cause.index() as u64,
+                pkt.wire_size as u64,
+                0,
+                port,
+            );
+        }
+    }
+
+    /// Provenance: records the enqueue of `pkt` onto `out` (call just
+    /// before the push; `b` = queue bytes including the packet).
+    #[inline]
+    fn trace_enqueue(&self, pkt: &Packet, out: u16, ctx: &mut Ctx) {
+        if ctx.rec.trace.enabled() {
+            let q = &self.ports[out as usize].queue;
+            let rank = q.rank_of(pkt).unwrap_or(TRACE_NO_RANK);
+            let after = q.bytes().saturating_add(pkt.wire_size as u64);
+            trace_rec(ctx, self.id.0, TraceKind::Enqueue, pkt, rank, after, 0, out);
         }
     }
 
@@ -197,6 +287,7 @@ impl Switch {
         let cap = self.cfg.port_buffer_bytes;
         if self.ports[out as usize].queue.fits(&pkt, cap) {
             Self::maybe_mark_ecn(&self.cfg, &self.ports[out as usize].queue, &mut pkt, ctx);
+            self.trace_enqueue(&pkt, out, ctx);
             self.ports[out as usize].queue.push(pkt);
             self.max_port_bytes = self
                 .max_port_bytes
@@ -206,6 +297,7 @@ impl Switch {
         }
         match self.cfg.buffer {
             BufferPolicy::DropTail => {
+                self.trace_drop(&pkt, DropCause::QueueFull, out, ctx);
                 ctx.rec.on_drop(DropCause::QueueFull, pkt.wire_size);
                 pool::recycle(pkt);
             }
@@ -223,16 +315,19 @@ impl Switch {
                             &mut pkt,
                             ctx,
                         );
+                        self.trace_enqueue(&pkt, out, ctx);
                         self.ports[out as usize].queue.push(pkt);
                         self.start_tx(out, ctx);
                         return;
                     }
                 }
+                self.trace_drop(&pkt, DropCause::QueueFull, out, ctx);
                 ctx.rec.on_drop(DropCause::QueueFull, pkt.wire_size);
                 pool::recycle(pkt);
             }
             BufferPolicy::Dibs { max_deflections } => {
                 if pkt.deflections >= max_deflections {
+                    self.trace_drop(&pkt, DropCause::DeflectionFull, out, ctx);
                     ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
                     pool::recycle(pkt);
                     return;
@@ -243,11 +338,27 @@ impl Switch {
                 cands.retain(|&p| self.ports[p as usize].queue.fits(&pkt, cap));
                 if cands.is_empty() {
                     self.deflect_scratch = cands;
+                    self.trace_drop(&pkt, DropCause::DeflectionFull, out, ctx);
                     ctx.rec.on_drop(DropCause::DeflectionFull, pkt.wire_size);
                     pool::recycle(pkt);
                     return;
                 }
                 let p = cands[ctx.rng.index(cands.len())];
+                if ctx.rec.trace.enabled() {
+                    // DIBS always deflects the *arriving* packet (flag
+                    // bit 1) to a uniformly random candidate with space.
+                    let sampled = pack_ports(&cands[..cands.len().min(4)]);
+                    trace_rec(
+                        ctx,
+                        self.id.0,
+                        TraceKind::Deflect,
+                        &pkt,
+                        pkt.rank(self.cfg.boost_shift),
+                        sampled,
+                        0b10,
+                        p,
+                    );
+                }
                 self.deflect_scratch = cands;
                 pkt.deflections += 1;
                 #[cfg(feature = "audit")]
@@ -272,9 +383,11 @@ impl Switch {
                 // bound holds (footnote 4: several small packets may be
                 // displaced by one large arrival). Without scheduling, the
                 // arriving packet is the victim.
+                let arriving_uid = pkt.uid;
                 let mut victims: Vec<Box<Packet>> = Vec::new();
                 if scheduling {
                     Self::maybe_mark_ecn(&self.cfg, &self.ports[out as usize].queue, &mut pkt, ctx);
+                    self.trace_enqueue(&pkt, out, ctx);
                     let q = &mut self.ports[out as usize].queue;
                     q.push(pkt);
                     while q.bytes() > cap {
@@ -285,11 +398,12 @@ impl Switch {
                 }
                 for victim in victims {
                     if !deflection {
+                        self.trace_drop(&victim, DropCause::QueueFull, out, ctx);
                         ctx.rec.on_drop(DropCause::QueueFull, victim.wire_size);
                         pool::recycle(victim);
                         continue;
                     }
-                    self.deflect_victim(victim, out, deflect_power, ctx);
+                    self.deflect_victim(victim, out, deflect_power, arriving_uid, ctx);
                 }
                 self.start_tx(out, ctx);
             }
@@ -331,17 +445,21 @@ impl Switch {
 
     /// Vertigo deflection: power-of-n placement; on total congestion force
     /// the victim in and drop the worst-ranked packet (paper footnote 5).
+    /// `arriving_uid` identifies the packet that triggered the overflow,
+    /// so provenance can flag "the victim was the arrival itself".
     fn deflect_victim(
         &mut self,
         mut victim: Box<Packet>,
         full_port: u16,
         power: usize,
+        arriving_uid: u64,
         ctx: &mut Ctx,
     ) {
         let cap = self.cfg.port_buffer_bytes;
         let cands = self.deflect_candidates(full_port, victim.dst);
         if cands.is_empty() {
             self.deflect_scratch = cands;
+            self.trace_drop(&victim, DropCause::DeflectionFull, full_port, ctx);
             ctx.rec.on_drop(DropCause::DeflectionFull, victim.wire_size);
             pool::recycle(victim);
             return;
@@ -359,6 +477,24 @@ impl Switch {
             .iter()
             .min_by_key(|&&p| self.ports[p as usize].queue.bytes())
             .expect("nonempty sample");
+        // Provenance for Deflect records: victim rank at selection time,
+        // the sampled ports, and whether the victim was the arrival.
+        let trace_deflect =
+            |this: &Switch, ctx: &mut Ctx, victim: &Packet, to: u16, forced: bool| {
+                if ctx.rec.trace.enabled() {
+                    let flags = u8::from(forced) | (u8::from(victim.uid == arriving_uid) << 1);
+                    trace_rec(
+                        ctx,
+                        this.id.0,
+                        TraceKind::Deflect,
+                        victim,
+                        victim.rank(this.cfg.boost_shift),
+                        pack_ports(&sample[..sample.len().min(4)]),
+                        flags,
+                        to,
+                    );
+                }
+            };
         if self.ports[chosen as usize].queue.fits(&victim, cap) {
             victim.deflections += 1;
             ctx.rec.deflections += 1;
@@ -368,6 +504,7 @@ impl Switch {
                 &mut victim,
                 ctx,
             );
+            trace_deflect(self, ctx, &victim, chosen, false);
             self.ports[chosen as usize].queue.push(victim);
             self.start_tx(chosen, ctx);
             return;
@@ -378,10 +515,23 @@ impl Switch {
         let forced = sample[ctx.rng.index(sample.len())];
         victim.deflections += 1;
         ctx.rec.deflections += 1;
+        trace_deflect(self, ctx, &victim, forced, true);
         let q = &mut self.ports[forced as usize].queue;
         q.push(victim);
         while q.bytes() > cap {
             let dropped = q.evict_worst().expect("nonempty over-capacity queue");
+            if ctx.rec.trace.enabled() {
+                trace_rec(
+                    ctx,
+                    self.id.0,
+                    TraceKind::Drop,
+                    &dropped,
+                    DropCause::DeflectionFull.index() as u64,
+                    dropped.wire_size as u64,
+                    0,
+                    forced,
+                );
+            }
             ctx.rec
                 .on_drop(DropCause::DeflectionFull, dropped.wire_size);
             pool::recycle(dropped);
@@ -398,6 +548,19 @@ impl Switch {
         let Some(pkt) = p.queue.pop_next() else {
             return;
         };
+        if ctx.rec.trace.enabled() {
+            let rank = p.queue.rank_of(&pkt).unwrap_or(TRACE_NO_RANK);
+            trace_rec(
+                ctx,
+                self.id.0,
+                TraceKind::Dequeue,
+                &pkt,
+                rank,
+                p.queue.bytes(),
+                0,
+                port,
+            );
+        }
         p.busy = true;
         ctx.events.push_after(
             p.link.tx_time(pkt.wire_size),

@@ -14,8 +14,13 @@ pub mod audit;
 pub mod recorder;
 pub mod report;
 pub mod summary;
+pub mod trace;
 
 pub use audit::AuditHooks;
 pub use recorder::{DropCause, FlowRecord, QueryRecord, Recorder, DROP_CAUSES};
 pub use report::{Report, ELEPHANT_BYTES, MICE_BYTES};
 pub use summary::{mean, percentile, percentile_sorted, Cdf, Running};
+pub use trace::{
+    pack_ports, parse_trace, unpack_ports, TraceFilter, TraceHeader, TraceKind, TraceRecord,
+    TraceSink, TRACE_AVAILABLE, TRACE_HEADER_BYTES, TRACE_NO_RANK, TRACE_RECORD_BYTES,
+};

@@ -184,6 +184,9 @@ pub struct Recorder {
     /// Conservation-audit tallies (live counters only under the `audit`
     /// cargo feature; all hooks are no-ops without it).
     pub audit: crate::audit::AuditHooks,
+    /// Per-packet provenance sink (records only under the `trace` cargo
+    /// feature *and* after arming; empty inline no-ops otherwise).
+    pub trace: crate::trace::TraceSink,
 }
 
 impl Recorder {

@@ -16,4 +16,4 @@ pub mod traffic;
 pub use dists::{DistKind, EmpiricalCdf, CACHE_FOLLOWER, DATA_MINING, WEB_SEARCH};
 pub use runner::{RunOutput, RunSpec, SystemKind, TopoKind, VertigoTuning};
 pub use traffic::{install_background, install_incast, BackgroundSpec, IncastSpec, WorkloadSpec};
-pub use vertigo_netsim::FaultSchedule;
+pub use vertigo_netsim::{FaultSchedule, TraceSpec};

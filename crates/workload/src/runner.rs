@@ -8,13 +8,15 @@
 //! is reproducible from a `RunSpec` literal.
 
 use crate::traffic::WorkloadSpec;
+use std::path::PathBuf;
 use vertigo_core::{MarkingConfig, MarkingDiscipline, OrderingConfig, OrderingMode};
+use vertigo_netsim::trace::stable_hash;
 use vertigo_netsim::{
     BufferPolicy, FaultSchedule, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig,
-    TopologySpec,
+    TopologySpec, TraceSpec,
 };
 use vertigo_simcore::{EventBackend, SimDuration};
-use vertigo_stats::Report;
+use vertigo_stats::{Report, TRACE_AVAILABLE, TRACE_HEADER_BYTES, TRACE_RECORD_BYTES};
 use vertigo_transport::{CcKind, TransportConfig};
 
 /// The four systems the paper compares.
@@ -150,6 +152,8 @@ pub struct RunOutput {
     pub max_port_bytes: u64,
     /// The workload's offered load fraction on this topology.
     pub offered_load: f64,
+    /// Where the provenance trace was written, when one was requested.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl RunSpec {
@@ -271,18 +275,95 @@ impl RunSpec {
 
     /// Runs to the horizon and collects everything.
     pub fn run(&self) -> RunOutput {
-        let mut sim = self.build();
-        let offered = self
-            .workload
-            .offered_load(sim.topology().total_host_bw_bps());
-        let report = sim.run();
-        RunOutput {
-            report,
-            ordering: sim.ordering_stats(),
-            marking: sim.marking_stats(),
-            max_port_bytes: sim.max_port_bytes(),
-            offered_load: offered,
+        self.run_with_trace(None)
+    }
+
+    /// Like [`run`](Self::run), but with an optional provenance trace
+    /// armed for the duration of the run. Tracing observes and never
+    /// steers: the returned `RunOutput` (minus `trace_path`) is
+    /// bit-identical to an untraced run of the same spec — CI
+    /// digest-diffs this.
+    ///
+    /// The trace file lands at [`trace_path`](Self::trace_path), a
+    /// per-spec name derived from `trace.path`, so sweeps running many
+    /// cells under one `--trace` flag never collide. Panics if a trace
+    /// is requested but the binary was built without `--features trace`
+    /// (a silent empty trace would be worse than a loud failure).
+    pub fn run_with_trace(&self, trace: Option<&TraceSpec>) -> RunOutput {
+        if let Some(spec) = trace {
+            // Deliberately a *runtime* assert, not a const block: plain
+            // builds must compile and only fail if a trace is requested.
+            #[allow(clippy::assertions_on_constants)]
+            {
+                assert!(
+                    TRACE_AVAILABLE,
+                    "--trace requires a binary built with `--features trace` \
+                     (this build compiled the hooks out); rebuild and rerun"
+                );
+            }
+            // Fall through with tracing armed.
+            let mut sim = self.build();
+            sim.enable_trace(spec.filter, spec.capacity);
+            let offered = self
+                .workload
+                .offered_load(sim.topology().total_host_bw_bps());
+            let report = sim.run();
+            let out_path = self.trace_path(spec);
+            let bytes = sim.trace_bytes();
+            if let Some(parent) = out_path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", parent.display()));
+                }
+            }
+            std::fs::write(&out_path, &bytes)
+                .unwrap_or_else(|e| panic!("writing trace {}: {e}", out_path.display()));
+            // Stderr, not stdout: experiment stdout is digest-diffed
+            // against untraced runs and must stay byte-identical.
+            eprintln!(
+                "[trace] wrote {} ({} records)",
+                out_path.display(),
+                bytes.len().saturating_sub(TRACE_HEADER_BYTES) / TRACE_RECORD_BYTES
+            );
+            RunOutput {
+                report,
+                ordering: sim.ordering_stats(),
+                marking: sim.marking_stats(),
+                max_port_bytes: sim.max_port_bytes(),
+                offered_load: offered,
+                trace_path: Some(out_path),
+            }
+        } else {
+            let mut sim = self.build();
+            let offered = self
+                .workload
+                .offered_load(sim.topology().total_host_bw_bps());
+            let report = sim.run();
+            RunOutput {
+                report,
+                ordering: sim.ordering_stats(),
+                marking: sim.marking_stats(),
+                max_port_bytes: sim.max_port_bytes(),
+                offered_load: offered,
+                trace_path: None,
+            }
         }
+    }
+
+    /// The file this spec's trace lands in under `spec.path`: the
+    /// requested stem plus a stable 64-bit hash of the full `RunSpec`
+    /// debug form, so every cell of a sweep gets its own deterministic
+    /// file regardless of `--jobs` scheduling.
+    pub fn trace_path(&self, trace: &TraceSpec) -> PathBuf {
+        let tag = stable_hash(format!("{self:?}").as_bytes());
+        let stem = trace
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_owned());
+        trace
+            .path
+            .with_file_name(format!("{stem}-{tag:016x}.vtrace"))
     }
 }
 
@@ -387,5 +468,61 @@ mod tests {
         assert!(!spec.host_config().transport.fast_retransmit);
         let spec = RunSpec::new(SystemKind::Ecmp, CcKind::Dctcp, quick_workload());
         assert!(spec.host_config().transport.fast_retransmit);
+    }
+
+    #[test]
+    fn trace_path_is_per_spec_and_deterministic() {
+        let trace = TraceSpec::parse("out/run.vtrace").unwrap();
+        let mut a = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        a.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        let mut b = a;
+        b.seed = a.seed.wrapping_add(1);
+        // Same spec → same file; any spec change → a different file.
+        assert_eq!(a.trace_path(&trace), a.trace_path(&trace));
+        assert_ne!(a.trace_path(&trace), b.trace_path(&trace));
+        let p = a.trace_path(&trace);
+        assert_eq!(p.parent().unwrap(), std::path::Path::new("out"));
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("run-") && name.ends_with(".vtrace"),
+            "{name}"
+        );
+    }
+
+    #[test]
+    fn run_with_trace_none_matches_run() {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(5);
+        let plain = spec.run();
+        let traced = spec.run_with_trace(None);
+        assert_eq!(
+            format!("{:?}", plain.report),
+            format!("{:?}", traced.report)
+        );
+        assert!(traced.trace_path.is_none());
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn run_with_trace_writes_file_and_keeps_report_identical() {
+        let dir = std::env::temp_dir().join("vertigo-runner-trace-test");
+        let trace = TraceSpec::parse(&format!("{}/t.vtrace:flow=1", dir.display())).unwrap();
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(5);
+        let plain = spec.run();
+        let traced = spec.run_with_trace(Some(&trace));
+        assert_eq!(
+            format!("{:?}", plain.report),
+            format!("{:?}", traced.report),
+            "tracing must not perturb the simulation"
+        );
+        let path = traced.trace_path.expect("trace path set");
+        let bytes = std::fs::read(&path).unwrap();
+        let (header, records) = vertigo_stats::parse_trace(&bytes).unwrap();
+        assert_eq!(header.records, records.len() as u64);
+        assert!(records.iter().all(|r| r.flow == 1), "filter must apply");
+        std::fs::remove_file(&path).ok();
     }
 }

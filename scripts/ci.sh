@@ -21,6 +21,17 @@ cargo run --release --quiet --example audit_digest > /tmp/vertigo_digest_plain.t
 cargo run --release --quiet --features audit --example audit_digest > /tmp/vertigo_digest_audit.txt
 diff /tmp/vertigo_digest_plain.txt /tmp/vertigo_digest_audit.txt
 
+echo "==> cargo test --features trace -q"
+cargo test --workspace --features trace -q
+
+echo "==> golden-trace regression suite"
+cargo test --features trace -q --test golden_trace
+
+echo "==> trace observes, never perturbs: digest diff (both backends)"
+cargo run --release --quiet --example trace_digest > /tmp/vertigo_digest_plain2.txt
+cargo run --release --quiet --features trace --example trace_digest > /tmp/vertigo_digest_trace.txt
+diff /tmp/vertigo_digest_plain2.txt /tmp/vertigo_digest_trace.txt
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -64,3 +64,39 @@ fn seeds_actually_matter() {
     let b = digest(SystemKind::Vertigo, CcKind::Dctcp, 2);
     assert_ne!(a, b, "different seeds should perturb results");
 }
+
+/// Determinism holds at event granularity, not just in aggregate: the
+/// full provenance event stream is a pure function of the spec.
+#[cfg(feature = "trace")]
+mod trace_level {
+    use super::*;
+    use vertigo::stats::TraceFilter;
+
+    fn trace_bytes(system: SystemKind, seed: u64) -> Vec<u8> {
+        let mut s = RunSpec::new(system, CcKind::Dctcp, wl());
+        s.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        s.horizon = SimDuration::from_millis(25);
+        s.seed = seed;
+        let mut sim = s.build();
+        sim.enable_trace(TraceFilter::default(), 1 << 14);
+        let _ = sim.run();
+        sim.trace_bytes()
+    }
+
+    #[test]
+    fn same_seed_same_event_stream() {
+        for system in SystemKind::all() {
+            let a = trace_bytes(system, 99);
+            let b = trace_bytes(system, 99);
+            assert!(!a.is_empty());
+            assert_eq!(a, b, "{}: traces must be byte-identical", system.name());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_event_stream() {
+        let a = trace_bytes(SystemKind::Vertigo, 1);
+        let b = trace_bytes(SystemKind::Vertigo, 2);
+        assert_ne!(a, b, "different seeds should perturb the event stream");
+    }
+}

@@ -1,0 +1,162 @@
+//! Golden-trace regression suite: committed `.vtrace` event streams for
+//! a small fixed Figure-5 cell under each congestion controller, plus a
+//! fault-window run. A behavioral change anywhere on the packet path —
+//! victim selection, forwarding choice, RX ordering, drop accounting —
+//! shifts the event stream and fails the byte-diff, even when the
+//! aggregate `Report` happens to land on the same numbers.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```sh
+//! UPDATE_GOLDENS=1 cargo test --features trace --test golden_trace
+//! ```
+//!
+//! then commit the rewritten files under `tests/golden/` (see
+//! EXPERIMENTS.md).
+
+#![cfg(feature = "trace")]
+
+use std::path::PathBuf;
+use vertigo::simcore::SimDuration;
+use vertigo::stats::{parse_trace, TraceFilter};
+use vertigo::transport::CcKind;
+use vertigo::workload::{
+    BackgroundSpec, DistKind, FaultSchedule, IncastSpec, RunSpec, SystemKind, TopoKind,
+    WorkloadSpec,
+};
+
+/// One Figure-5-style cell, hot enough that Vertigo's deflection path
+/// actually fires under DCTCP: 32 hosts, 4 ms, 40 % background plus a
+/// heavy 16-wide incast.
+fn cell(cc: CcKind, faults: &str) -> RunSpec {
+    let wl = WorkloadSpec {
+        background: Some(BackgroundSpec {
+            load: 0.40,
+            dist: DistKind::CacheFollower,
+        }),
+        incast: Some(IncastSpec {
+            qps: 2_000.0,
+            scale: 16,
+            flow_bytes: 40_000,
+        }),
+    };
+    let mut s = RunSpec::new(SystemKind::Vertigo, cc, wl);
+    s.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+    s.horizon = SimDuration::from_millis(4);
+    s.seed = 42;
+    s.faults = FaultSchedule::parse(faults).expect("valid fault spec");
+    s
+}
+
+/// Clean-cell window: 10 µs across all nodes, placed just after queue
+/// pressure peaks (under DCTCP the first deflections land at ≈2.79 ms),
+/// so the stream crosses forwarding, queueing, deflection, and RX
+/// ordering while staying ~100 KB on disk.
+const CLEAN_WINDOW: (u64, u64) = (2_785_000, 2_795_000);
+
+/// Fault-cell window: inside the 0.5–1.5 ms loss window, so the stream
+/// includes fault-injected `Drop` records.
+const FAULT_WINDOW: (u64, u64) = (600_000, 620_000);
+
+fn trace_of(spec: &RunSpec, window: (u64, u64)) -> Vec<u8> {
+    let mut sim = spec.build();
+    let filter = TraceFilter {
+        from_ns: window.0,
+        until_ns: window.1,
+        ..TraceFilter::default()
+    };
+    sim.enable_trace(filter, 1 << 16);
+    let _ = sim.run();
+    sim.trace_bytes()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.vtrace"))
+}
+
+fn check_golden(name: &str, spec: &RunSpec, window: (u64, u64)) {
+    let actual = trace_of(spec, window);
+    let (header, records) = parse_trace(&actual).expect("self-produced trace parses");
+    assert_eq!(
+        header.overwritten, 0,
+        "{name}: ring overflowed; grow capacity"
+    );
+    assert!(
+        records.len() > 100,
+        "{name}: only {} records — filter too narrow to regress on",
+        records.len()
+    );
+    assert!(
+        actual.len() < 256 * 1024,
+        "{name}: {} bytes — goldens must stay small; tighten the window",
+        actual.len()
+    );
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!(
+            "[golden] rewrote {} ({} records)",
+            path.display(),
+            records.len()
+        );
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run UPDATE_GOLDENS=1 cargo test --features trace \
+             --test golden_trace to create it)",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name}: event stream diverged from the committed golden \
+         ({} vs {} bytes).\nInspect with `cargo run --bin vtrace -- diff` \
+         after writing the new stream; if the change is intentional, \
+         regenerate with UPDATE_GOLDENS=1 (see EXPERIMENTS.md).",
+        expected.len(),
+        actual.len()
+    );
+}
+
+#[test]
+fn fig5_cell_reno_matches_golden() {
+    check_golden("fig5cell_reno", &cell(CcKind::Reno, ""), CLEAN_WINDOW);
+}
+
+#[test]
+fn fig5_cell_dctcp_matches_golden() {
+    check_golden("fig5cell_dctcp", &cell(CcKind::Dctcp, ""), CLEAN_WINDOW);
+}
+
+#[test]
+fn fig5_cell_swift_matches_golden() {
+    check_golden("fig5cell_swift", &cell(CcKind::Swift, ""), CLEAN_WINDOW);
+}
+
+#[test]
+fn fault_window_matches_golden() {
+    check_golden(
+        "fault_window",
+        &cell(CcKind::Dctcp, "loss:*:0.02@0.5ms-1.5ms"),
+        FAULT_WINDOW,
+    );
+}
+
+/// The suite must be *sensitive*: a one-knob behavior change (disabling
+/// SRPT scheduling flips Vertigo's victim selection to drop-arrival)
+/// has to shift the event stream, or the goldens guard nothing.
+#[test]
+fn goldens_are_sensitive_to_policy_changes() {
+    let base = cell(CcKind::Dctcp, "");
+    let mut mutated = base;
+    mutated.vertigo.scheduling = false;
+    assert_ne!(
+        trace_of(&base, CLEAN_WINDOW),
+        trace_of(&mutated, CLEAN_WINDOW),
+        "scheduling ablation must perturb the event stream"
+    );
+}
