@@ -204,6 +204,56 @@ impl CuckooFilter {
     }
 }
 
+/// Serializes the whole table (bucket contents, occupancy, and the
+/// eviction-victim LCG state — the LCG **must** round-trip or post-restore
+/// eviction walks would pick different victims than the straight-through
+/// run and break determinism).
+impl vertigo_simcore::Snapshot for CuckooFilter {
+    fn save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        w.put_usize(self.buckets.len());
+        for bucket in &self.buckets {
+            for &fp in bucket {
+                w.put_u16(fp);
+            }
+        }
+        w.put_usize(self.len);
+        w.put_u64(self.lcg);
+    }
+
+    fn restore(
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<Self, vertigo_simcore::SnapError> {
+        let nbuckets = r.get_usize()?;
+        if !nbuckets.is_power_of_two() {
+            return Err(vertigo_simcore::SnapError::new(format!(
+                "cuckoo filter bucket count {nbuckets} is not a power of two"
+            )));
+        }
+        if nbuckets > r.remaining() {
+            return Err(vertigo_simcore::SnapError::new(format!(
+                "cuckoo snapshot claims {nbuckets} buckets but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut buckets = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            let mut bucket = [0u16; BUCKET_SLOTS];
+            for slot in bucket.iter_mut() {
+                *slot = r.get_u16()?;
+            }
+            buckets.push(bucket);
+        }
+        let len = r.get_usize()?;
+        let lcg = r.get_u64()?;
+        Ok(CuckooFilter {
+            buckets,
+            bucket_mask: nbuckets - 1,
+            len,
+            lcg,
+        })
+    }
+}
+
 impl std::fmt::Debug for CuckooFilter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -219,6 +269,41 @@ impl std::fmt::Debug for CuckooFilter {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn snapshot_round_trip_preserves_table_and_lcg() {
+        use vertigo_simcore::{SnapReader, SnapWriter, Snapshot};
+        let mut f = CuckooFilter::with_capacity(256);
+        for k in 0..300u64 {
+            f.insert(k); // past design load: exercises eviction walks (LCG)
+        }
+        let mut w = SnapWriter::new();
+        f.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut g = CuckooFilter::restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(g.len(), f.len());
+        for k in 0..300u64 {
+            assert_eq!(g.contains(k), f.contains(k), "key {k}");
+        }
+        // Identical future behavior, including LCG-driven eviction choices.
+        for k in 300..400u64 {
+            assert_eq!(g.insert(k), f.insert(k), "insert {k}");
+        }
+        for k in 0..400u64 {
+            assert_eq!(g.contains(k), f.contains(k), "post-insert key {k}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_non_power_of_two_bucket_count() {
+        use vertigo_simcore::{SnapReader, SnapWriter, Snapshot};
+        let mut w = SnapWriter::new();
+        w.put_u64(3); // bucket count
+        let bytes = w.into_bytes();
+        assert!(CuckooFilter::restore(&mut SnapReader::new(&bytes)).is_err());
+    }
 
     #[test]
     fn insert_then_contains() {

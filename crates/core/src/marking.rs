@@ -240,6 +240,91 @@ impl MarkingComponent {
         }
         self.retx.retain(|(f, _), _| *f != flow);
     }
+
+    /// Serializes all mutable state. Hash maps are written in sorted key
+    /// order so the byte stream is deterministic regardless of hasher seed;
+    /// the config and boost shift are not saved (resume reconstructs the
+    /// component from the run spec before calling
+    /// [`MarkingComponent::snap_restore`]).
+    pub fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        let mut flows: Vec<_> = self.flows.iter().collect();
+        flows.sort_by_key(|(f, _)| f.0);
+        w.put_usize(flows.len());
+        for (flow, tx) in flows {
+            w.put_u64(flow.0);
+            w.put_u64(tx.total);
+            w.put_u8(tx.flow_seq);
+            w.put_u64(tx.age_pkts);
+            w.put_u32(tx.dst.0);
+        }
+        self.filter.save(w);
+        let mut retx: Vec<_> = self.retx.iter().collect();
+        retx.sort_by_key(|((f, s), _)| (f.0, *s));
+        w.put_usize(retx.len());
+        for ((flow, seq), retcnt) in retx {
+            w.put_u64(flow.0);
+            w.put_u64(*seq);
+            w.put_u8(*retcnt);
+        }
+        let mut ctrs: Vec<_> = self.dst_counters.iter().collect();
+        ctrs.sort_by_key(|(d, _)| d.0);
+        w.put_usize(ctrs.len());
+        for (dst, ctr) in ctrs {
+            w.put_u32(dst.0);
+            w.put_u8(*ctr);
+        }
+        w.put_u64(self.stats.marked);
+        w.put_u64(self.stats.retransmissions);
+        w.put_u64(self.stats.filter_overflows);
+    }
+
+    /// Restores state written by [`MarkingComponent::snap_save`] into a
+    /// component freshly built with the same config.
+    pub fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        use vertigo_simcore::Snapshot;
+        self.flows.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let flow = FlowId(r.get_u64()?);
+            let total = r.get_u64()?;
+            let flow_seq = r.get_u8()?;
+            let age_pkts = r.get_u64()?;
+            let dst = NodeId(r.get_u32()?);
+            self.flows.insert(
+                flow,
+                FlowTx {
+                    total,
+                    flow_seq,
+                    age_pkts,
+                    dst,
+                },
+            );
+        }
+        self.filter = CuckooFilter::restore(r)?;
+        self.retx.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let flow = FlowId(r.get_u64()?);
+            let seq = r.get_u64()?;
+            let retcnt = r.get_u8()?;
+            self.retx.insert((flow, seq), retcnt);
+        }
+        self.dst_counters.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let dst = NodeId(r.get_u32()?);
+            let ctr = r.get_u8()?;
+            self.dst_counters.insert(dst, ctr);
+        }
+        self.stats.marked = r.get_u64()?;
+        self.stats.retransmissions = r.get_u64()?;
+        self.stats.filter_overflows = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for MarkingComponent {
@@ -374,6 +459,38 @@ mod tests {
     fn unregistered_flow_panics() {
         let mut m = comp(MarkingDiscipline::Srpt, Some(2));
         m.mark(FlowId(7), 0, 100);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_flows() {
+        use vertigo_simcore::{SnapReader, SnapWriter};
+        let mut m = comp(MarkingDiscipline::Srpt, Some(2));
+        let f1 = FlowId(1);
+        let f2 = FlowId(2);
+        m.register_flow(f1, NodeId(4), 10 * 1460);
+        m.register_flow(f2, NodeId(5), 3 * 1460);
+        m.mark(f1, 0, 1460);
+        m.mark(f1, 1460, 1460);
+        m.mark(f1, 0, 1460); // retransmission: populates retx + stats
+        m.mark(f2, 0, 1460);
+        let mut w = SnapWriter::new();
+        m.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut m2 = comp(MarkingDiscipline::Srpt, Some(2));
+        let mut r = SnapReader::new(&bytes);
+        m2.snap_restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(m2.flows_tracked(), 2);
+        assert_eq!(m2.stats().retransmissions, 1);
+        // Identical future behavior: same retcnt escalation, same fresh
+        // marks, same per-destination flow counters.
+        assert_eq!(m2.mark(f1, 0, 1460), m.mark(f1, 0, 1460));
+        assert_eq!(m2.mark(f1, 2920, 1460), m.mark(f1, 2920, 1460));
+        assert_eq!(m2.mark(f2, 1460, 1460), m.mark(f2, 1460, 1460));
+        assert_eq!(
+            m2.register_flow(FlowId(3), NodeId(4), 1000),
+            m.register_flow(FlowId(3), NodeId(4), 1000)
+        );
     }
 
     #[test]

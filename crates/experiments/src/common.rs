@@ -15,7 +15,9 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use vertigo_simcore::{EventBackend, SimDuration};
-use vertigo_workload::{FaultSchedule, IncastSpec, TopoKind, TraceSpec};
+use vertigo_workload::{
+    CheckpointSpec, FaultSchedule, IncastSpec, SnapshotSpec, TopoKind, TraceSpec,
+};
 
 /// Scale preset for a harness invocation.
 #[derive(Debug, Clone, Copy)]
@@ -149,12 +151,17 @@ pub struct Opts {
     /// PATH[:filter]`; see `vertigo_netsim::trace` for the grammar).
     /// Requires a binary built with `--features trace`.
     pub trace: Option<TraceSpec>,
+    /// Checkpoint/resume request applied to every run
+    /// (`--checkpoint-every SIMTIME[:PATH]` / `--resume PATH`; see
+    /// `vertigo_workload::snapshot` for the grammar). Requires a binary
+    /// built with `--features snapshot`.
+    pub snapshot: SnapshotSpec,
 }
 
 impl Opts {
     /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]
-    /// [--events wheel|heap] [--faults SPEC] [--trace PATH[:filter]]`
-    /// from args.
+    /// [--events wheel|heap] [--faults SPEC] [--trace PATH[:filter]]
+    /// [--checkpoint-every SIMTIME[:PATH]] [--resume PATH]` from args.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut scale = Scale::default_scale();
         let mut seed = 1u64;
@@ -163,6 +170,7 @@ impl Opts {
         let mut events = EventBackend::default();
         let mut faults = FaultSchedule::new();
         let mut trace = None;
+        let mut snapshot = SnapshotSpec::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -195,6 +203,18 @@ impl Opts {
                             .map_err(|e| format!("bad --trace: {e}"))?,
                     );
                 }
+                "--checkpoint-every" => {
+                    snapshot.checkpoint = Some(
+                        CheckpointSpec::parse(
+                            it.next().ok_or("--checkpoint-every needs SIMTIME[:PATH]")?,
+                        )
+                        .map_err(|e| format!("bad --checkpoint-every: {e}"))?,
+                    );
+                }
+                "--resume" => {
+                    snapshot.resume =
+                        Some(PathBuf::from(it.next().ok_or("--resume needs a path")?));
+                }
                 "--jobs" => {
                     jobs = it
                         .next()
@@ -216,7 +236,15 @@ impl Opts {
             events,
             faults,
             trace,
+            snapshot,
         })
+    }
+
+    /// The snapshot options to hand to [`vertigo_workload::RunSpec::run_with_options`]:
+    /// `None` when neither flag was given, so unflagged runs take the
+    /// exact code path they always did.
+    pub fn snapshot_opts(&self) -> Option<&SnapshotSpec> {
+        self.snapshot.is_active().then_some(&self.snapshot)
     }
 }
 
@@ -358,6 +386,18 @@ mod tests {
         assert_eq!(spec.filter.flow, Some(3));
         assert!(Opts::parse(&["--trace".into(), "t.vtrace:bogus=1".into()]).is_err());
         assert!(Opts::parse(&["--trace".into()]).is_err());
+        assert!(!d.snapshot.is_active());
+        assert!(d.snapshot_opts().is_none());
+        let c = Opts::parse(&["--checkpoint-every".into(), "6ms:out/ck.vsnp".into()]).unwrap();
+        let ck = c.snapshot.checkpoint.as_ref().unwrap();
+        assert_eq!(ck.every, SimDuration::from_millis(6));
+        assert_eq!(ck.stem, PathBuf::from("out/ck.vsnp"));
+        assert!(c.snapshot_opts().is_some());
+        let r = Opts::parse(&["--resume".into(), "out/ck.vsnp".into()]).unwrap();
+        assert_eq!(r.snapshot.resume, Some(PathBuf::from("out/ck.vsnp")));
+        assert!(Opts::parse(&["--checkpoint-every".into(), "6".into()]).is_err());
+        assert!(Opts::parse(&["--checkpoint-every".into()]).is_err());
+        assert!(Opts::parse(&["--resume".into()]).is_err());
     }
 
     #[test]

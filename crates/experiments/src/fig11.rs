@@ -46,7 +46,7 @@ pub fn run_a(opts: &Opts) {
             spec.event_backend = opts.events;
             spec.faults = opts.faults;
             tweak(&mut spec);
-            let out = spec.run_with_trace(opts.trace.as_ref());
+            let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());
             let r = &out.report;
             t.row(vec![
                 total.to_string(),
@@ -89,7 +89,7 @@ pub fn run_b(opts: &Opts) {
             spec.event_backend = opts.events;
             spec.faults = opts.faults;
             spec.vertigo.boost_factor = factor;
-            let out = spec.run_with_trace(opts.trace.as_ref());
+            let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());
             let r = &out.report;
             t.row(vec![
                 format!("{}", (bg * 100.0) as u32),

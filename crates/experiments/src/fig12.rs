@@ -58,7 +58,7 @@ pub fn run(opts: &Opts) {
                 spec.faults = opts.faults;
                 spec.vertigo.fw_power = fw;
                 spec.vertigo.defl_power = def;
-                let out = spec.run_with_trace(opts.trace.as_ref());
+                let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());
                 let r = &out.report;
                 t.row(vec![
                     total.to_string(),

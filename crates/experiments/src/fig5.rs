@@ -40,10 +40,11 @@ pub fn run(opts: &Opts) {
                 spec.event_backend = opts.events;
                 spec.faults = opts.faults;
                 let trace = opts.trace.clone();
+                let snap = opts.snapshot_opts().cloned();
                 cells.push(Cell::new(
                     format!("fig5 bg{bg_pct} load{total} {}", sys.name()),
                     move || {
-                        let out = spec.run_with_trace(trace.as_ref());
+                        let out = spec.run_with_options(trace.as_ref(), snap.as_ref());
                         let r = &out.report;
                         vec![
                             total.to_string(),

@@ -39,8 +39,9 @@ pub fn run(opts: &Opts) {
             spec.event_backend = opts.events;
             spec.faults = opts.faults;
             let trace = opts.trace.clone();
+            let snap = opts.snapshot_opts().cloned();
             cells.push(Cell::new(format!("fig9 {flow_kb}KB {name}"), move || {
-                let out = spec.run_with_trace(trace.as_ref());
+                let out = spec.run_with_options(trace.as_ref(), snap.as_ref());
                 let r = &out.report;
                 vec![
                     flow_kb.to_string(),

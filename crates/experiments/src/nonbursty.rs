@@ -32,7 +32,7 @@ pub fn run(opts: &Opts) {
                 spec.seed = opts.seed;
                 spec.event_backend = opts.events;
                 spec.faults = opts.faults;
-                let out = spec.run_with_trace(opts.trace.as_ref());
+                let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());
                 let r = &out.report;
                 t.row(vec![
                     dist.name().to_string(),

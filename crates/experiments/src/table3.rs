@@ -38,7 +38,7 @@ pub fn run(opts: &Opts) {
             spec.event_backend = opts.events;
             spec.faults = opts.faults;
             spec.vertigo.discipline = disc;
-            let out = spec.run_with_trace(opts.trace.as_ref());
+            let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());
             cells.push(fmt_secs(out.report.qct_mean));
         }
         t.row(cells);

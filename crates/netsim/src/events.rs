@@ -1,7 +1,7 @@
 //! Simulation events and the handler context.
 
 use vertigo_pkt::{FlowId, NodeId, Packet, PortId, QueryId};
-use vertigo_simcore::{EventQueue, SimRng, SimTime};
+use vertigo_simcore::{EventQueue, SimRng, SimTime, SnapError, SnapReader, SnapWriter, Snapshot};
 use vertigo_stats::Recorder;
 
 /// Everything that can happen in the simulated network.
@@ -45,6 +45,69 @@ pub enum Event {
         /// Flow size in bytes.
         bytes: u64,
     },
+}
+
+impl Snapshot for Event {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Event::Arrive { node, port, pkt } => {
+                w.put_u8(0);
+                node.save(w);
+                port.save(w);
+                pkt.save(w);
+            }
+            Event::TxDone { node, port } => {
+                w.put_u8(1);
+                node.save(w);
+                port.save(w);
+            }
+            Event::HostTimer { node } => {
+                w.put_u8(2);
+                node.save(w);
+            }
+            Event::TelemetrySample => w.put_u8(3),
+            Event::FlowStart {
+                src,
+                dst,
+                flow,
+                query,
+                bytes,
+            } => {
+                w.put_u8(4);
+                src.save(w);
+                dst.save(w);
+                flow.save(w);
+                query.save(w);
+                w.put_u64(*bytes);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Event::Arrive {
+                node: NodeId::restore(r)?,
+                port: PortId::restore(r)?,
+                pkt: <Box<Packet>>::restore(r)?,
+            },
+            1 => Event::TxDone {
+                node: NodeId::restore(r)?,
+                port: PortId::restore(r)?,
+            },
+            2 => Event::HostTimer {
+                node: NodeId::restore(r)?,
+            },
+            3 => Event::TelemetrySample,
+            4 => Event::FlowStart {
+                src: NodeId::restore(r)?,
+                dst: NodeId::restore(r)?,
+                flow: FlowId::restore(r)?,
+                query: QueryId::restore(r)?,
+                bytes: r.get_u64()?,
+            },
+            tag => return Err(SnapError::new(format!("invalid Event tag {tag:#x}"))),
+        })
+    }
 }
 
 /// Mutable simulation context handed to node event handlers. Handlers may

@@ -363,6 +363,24 @@ impl FaultState {
         st
     }
 
+    /// Serializes the fault RNG (stream `0xFA17`). The compiled windows
+    /// derive from the schedule in the run spec and are rebuilt on
+    /// resume, so only the RNG cursor is state.
+    pub(crate) fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        self.rng.save(w);
+    }
+
+    /// Restores the fault RNG written by [`FaultState::snap_save`].
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        use vertigo_simcore::Snapshot;
+        self.rng = vertigo_simcore::SimRng::restore(r)?;
+        Ok(())
+    }
+
     fn add_link(&mut self, w: &FaultWindow, kind: LinkFault, topo: &Topology) {
         let c = Compiled {
             kind,

@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, VecDeque};
 use vertigo_core::boost::unboost;
 use vertigo_core::{Delivered, MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
 use vertigo_pkt::{pool, FlowId, NodeId, Packet, PacketKind, PortId, QueryId};
-use vertigo_simcore::SimTime;
+use vertigo_simcore::{SimTime, SnapError, SnapReader, SnapWriter, Snapshot};
 use vertigo_stats::{DropCause, TraceKind, TraceRecord, TRACE_NO_RANK};
 use vertigo_transport::{FlowReceiver, FlowSender, TransportConfig};
 
@@ -541,6 +541,124 @@ impl Host {
         self.start_tx(ctx);
         // A sender may have been window- or pacing-blocked on the NIC.
         self.pump(ctx);
+    }
+
+    /// Serializes the mutable host state: the NIC queue, every live
+    /// sender and receiver, the marking and ordering components, the
+    /// wakeup cursor, the uid counter, and banked stats. The config and
+    /// link come from the run spec; the scratch vectors are not saved —
+    /// `deliveries` is drained within every event, and `pump` clears
+    /// `flow_scratch` before reading it, so stale contents are inert.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        debug_assert!(self.deliveries.is_empty());
+        w.put_usize(self.nic_q.len());
+        for pkt in &self.nic_q {
+            pkt.save(w);
+        }
+        w.put_u64(self.nic_bytes);
+        w.put_bool(self.nic_busy);
+        w.put_usize(self.senders.len());
+        for (flow, st) in &self.senders {
+            flow.save(w);
+            st.dst.save(w);
+            st.query.save(w);
+            st.sender.snap_save(w);
+        }
+        w.put_usize(self.receivers.len());
+        for (flow, st) in &self.receivers {
+            flow.save(w);
+            st.src.save(w);
+            st.query.save(w);
+            w.put_u64(st.reported_reorders);
+            w.put_u64(st.reported_bytes);
+            st.recv.snap_save(w);
+        }
+        w.put_bool(self.marking.is_some());
+        if let Some(m) = &self.marking {
+            m.snap_save(w);
+        }
+        w.put_bool(self.ordering.is_some());
+        if let Some(o) = &self.ordering {
+            o.snap_save(w);
+        }
+        self.wake_scheduled.save(w);
+        w.put_u64(self.uid);
+        w.put_u64(self.stats.segments_sent);
+        w.put_u64(self.stats.retransmits);
+        w.put_u64(self.stats.rtos);
+        w.put_u64(self.stats.fast_retransmits);
+    }
+
+    /// Restores state written by [`Host::snap_save`] into a host freshly
+    /// built from the same run spec.
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::new(format!(
+                "corrupt NIC queue length {n} exceeds {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        self.nic_q.clear();
+        for _ in 0..n {
+            self.nic_q.push_back(<Box<Packet>>::restore(r)?);
+        }
+        self.nic_bytes = r.get_u64()?;
+        self.nic_busy = r.get_bool()?;
+        self.senders.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let flow = FlowId::restore(r)?;
+            let dst = NodeId::restore(r)?;
+            let query = QueryId::restore(r)?;
+            let sender = FlowSender::snap_restore(self.cfg.transport, r)?;
+            self.senders.insert(flow, SendState { sender, dst, query });
+        }
+        self.receivers.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let flow = FlowId::restore(r)?;
+            let src = NodeId::restore(r)?;
+            let query = QueryId::restore(r)?;
+            let reported_reorders = r.get_u64()?;
+            let reported_bytes = r.get_u64()?;
+            let recv = FlowReceiver::snap_restore(r)?;
+            self.receivers.insert(
+                flow,
+                RecvState {
+                    recv,
+                    src,
+                    query,
+                    reported_reorders,
+                    reported_bytes,
+                },
+            );
+        }
+        let had_marking = r.get_bool()?;
+        if had_marking != self.marking.is_some() {
+            return Err(SnapError::new(
+                "marking-component deployment mismatch between snapshot and run spec",
+            ));
+        }
+        if let Some(m) = &mut self.marking {
+            m.snap_restore(r)?;
+        }
+        let had_ordering = r.get_bool()?;
+        if had_ordering != self.ordering.is_some() {
+            return Err(SnapError::new(
+                "ordering-component deployment mismatch between snapshot and run spec",
+            ));
+        }
+        if let Some(o) = &mut self.ordering {
+            o.snap_restore(r)?;
+        }
+        self.wake_scheduled = Option::restore(r)?;
+        self.uid = r.get_u64()?;
+        self.stats.segments_sent = r.get_u64()?;
+        self.stats.retransmits = r.get_u64()?;
+        self.stats.rtos = r.get_u64()?;
+        self.stats.fast_retransmits = r.get_u64()?;
+        Ok(())
     }
 
     /// Schedules the next wakeup at the earliest pending deadline, unless

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use vertigo_core::PieoQueue;
 use vertigo_pkt::Packet;
+use vertigo_simcore::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// A byte-bounded FIFO queue.
 #[derive(Debug, Default)]
@@ -150,6 +151,61 @@ impl PortQueue {
             PortQueue::Prio(p) => Some(pkt.rank(p.boost_shift)),
         }
     }
+
+    /// Serializes resident packets and byte counters. The discipline and
+    /// boost shift come from the switch config at build time, so only a
+    /// one-byte tag is written to let restore verify the config matches.
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        match self {
+            PortQueue::Fifo(f) => {
+                w.put_u8(0);
+                w.put_usize(f.q.len());
+                for pkt in &f.q {
+                    pkt.save(w);
+                }
+                w.put_u64(f.bytes);
+            }
+            PortQueue::Prio(p) => {
+                w.put_u8(1);
+                p.q.save(w);
+                w.put_u64(p.bytes);
+            }
+        }
+    }
+
+    /// Restores resident packets into a queue freshly built with the same
+    /// switch config. Errors if the snapshot was taken under the other
+    /// queue discipline (the run spec changed between save and resume).
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.get_u8()?;
+        match (self, tag) {
+            (PortQueue::Fifo(f), 0) => {
+                let n = r.get_usize()?;
+                if n > r.remaining() {
+                    return Err(SnapError::new(format!(
+                        "corrupt FIFO queue length {n} exceeds {} remaining bytes",
+                        r.remaining()
+                    )));
+                }
+                f.q.clear();
+                for _ in 0..n {
+                    f.q.push_back(<Box<Packet>>::restore(r)?);
+                }
+                f.bytes = r.get_u64()?;
+            }
+            (PortQueue::Prio(p), 1) => {
+                p.q = PieoQueue::restore(r)?;
+                p.bytes = r.get_u64()?;
+            }
+            (_, tag) => {
+                return Err(SnapError::new(format!(
+                    "port-queue discipline mismatch: snapshot tag {tag} does not \
+                     match the discipline this run spec builds"
+                )))
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +309,40 @@ mod tests {
         q.push(pkt(2, 1, 100));
         assert_eq!(q.evict_worst().unwrap().uid, 2);
         assert_eq!(q.worst_rank(), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_both_disciplines() {
+        for mk in [PortQueue::fifo as fn() -> PortQueue, || PortQueue::prio(1)] {
+            let mut q = mk();
+            q.push(pkt(1, 20_000, 1000));
+            q.push(pkt(2, 3_000, 500));
+            q.push(pkt(3, 7_000, 700));
+            let mut w = SnapWriter::new();
+            q.snap_save(&mut w);
+            let bytes = w.into_bytes();
+            let mut restored = mk();
+            restored.snap_restore(&mut SnapReader::new(&bytes)).unwrap();
+            assert_eq!(restored.len(), q.len());
+            assert_eq!(restored.bytes(), q.bytes());
+            loop {
+                let (a, b) = (q.pop_next(), restored.pop_next());
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(a), Some(b)) => assert_eq!(a.uid, b.uid),
+                    _ => panic!("pop sequences diverge"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_discipline_mismatch_is_rejected() {
+        let mut w = SnapWriter::new();
+        PortQueue::fifo().snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut prio = PortQueue::prio(1);
+        assert!(prio.snap_restore(&mut SnapReader::new(&bytes)).is_err());
     }
 
     #[test]

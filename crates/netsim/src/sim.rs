@@ -320,7 +320,21 @@ impl Simulation {
     /// Runs the event loop up to the horizon and returns the report.
     /// May be called once; later events are discarded.
     pub fn run(&mut self) -> Report {
+        self.drain_until(SimTime::ZERO + self.horizon);
+        self.finalize()
+    }
+
+    /// Runs the event loop until every event at or before `limit` has
+    /// been processed, then stops with the queue quiescent at `limit` —
+    /// the checkpointable boundary. Handlers may keep scheduling events
+    /// at the current instant; those are drained too, so a snapshot taken
+    /// here never splits a same-time causal chain, and a resumed run pops
+    /// the exact remaining sequence the straight-through run would.
+    pub fn drain_until(&mut self, limit: SimTime) {
+        // Telemetry reschedules against the *real* horizon, not the drain
+        // limit: a checkpoint boundary must not clip the sampling train.
         let horizon = SimTime::ZERO + self.horizon;
+        let limit = limit.min(horizon);
         let Simulation {
             nodes,
             events,
@@ -331,8 +345,8 @@ impl Simulation {
             ..
         } = self;
         // Combined peek-then-pop: one heap access per iteration, and events
-        // beyond the horizon stay queued.
-        while let Some((now, ev)) = events.pop_until(horizon) {
+        // beyond the limit stay queued.
+        while let Some((now, ev)) = events.pop_until(limit) {
             // Fault interception happens at dispatch, before any node sees
             // the event: drops are charged to the recorder, deferrals are
             // re-enqueued at the fault-window end (same-time events pop in
@@ -435,6 +449,13 @@ impl Simulation {
                 },
             }
         }
+    }
+
+    /// Banks end-of-run stats and builds the [`Report`]. Call once, after
+    /// [`Simulation::drain_until`] has reached the horizon (or just use
+    /// [`Simulation::run`], which does both).
+    pub fn finalize(&mut self) -> Report {
+        let horizon = SimTime::ZERO + self.horizon;
         // Bank per-host transport stats into the recorder.
         for n in &self.nodes {
             if let Node::Host(h) = n {
@@ -455,6 +476,86 @@ impl Simulation {
         report.events_scheduled = self.events.scheduled_total();
         report.peak_pending_events = self.events.peak_pending() as u64;
         report
+    }
+
+    /// Serializes the complete mutable simulation state — event queue
+    /// (clock included), RNG, recorder, id counters, every node, telemetry,
+    /// and the fault RNG — as a VSNP component payload. Callers frame it
+    /// with the file header (magic, version, feature flags, spec hash).
+    ///
+    /// `&mut self` because the event queue snapshot drains and rebuilds
+    /// in place; the running simulation is unperturbed afterwards.
+    pub fn save_state(&mut self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        self.events.save_into(w);
+        self.rng.save(w);
+        self.rec.snap_save(w);
+        w.put_u64(self.next_flow);
+        w.put_u64(self.next_query);
+        w.put_usize(self.nodes.len());
+        for n in &self.nodes {
+            match n {
+                Node::Host(h) => h.snap_save(w),
+                Node::Switch(s) => s.snap_save(w),
+            }
+        }
+        w.put_bool(self.telemetry.is_some());
+        if let Some((_, tel)) = &self.telemetry {
+            tel.snap_save(w);
+        }
+        w.put_bool(self.faults.is_some());
+        if let Some(fs) = &self.faults {
+            fs.snap_save(w);
+        }
+    }
+
+    /// Restores state written by [`Simulation::save_state`] into a
+    /// simulation freshly built from the same run spec (topology built,
+    /// workload installed, faults compiled, telemetry enabled). The event
+    /// queue is rebuilt wholesale — every event the fresh build
+    /// pre-installed is discarded in favor of the snapshot's pending set.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        use vertigo_simcore::{SnapError, Snapshot};
+        self.events = EventQueue::restore_from(r, self.events.backend())?;
+        self.rng = SimRng::restore(r)?;
+        self.rec.snap_restore(r)?;
+        self.next_flow = r.get_u64()?;
+        self.next_query = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.nodes.len() {
+            return Err(SnapError::new(format!(
+                "snapshot has {n} nodes, this topology has {}",
+                self.nodes.len()
+            )));
+        }
+        for node in &mut self.nodes {
+            match node {
+                Node::Host(h) => h.snap_restore(r)?,
+                Node::Switch(s) => s.snap_restore(r)?,
+            }
+        }
+        let had_telemetry = r.get_bool()?;
+        if had_telemetry != self.telemetry.is_some() {
+            return Err(SnapError::new(
+                "telemetry deployment mismatch between snapshot and run spec",
+            ));
+        }
+        if let Some((_, tel)) = &mut self.telemetry {
+            tel.snap_restore(r)?;
+        }
+        let had_faults = r.get_bool()?;
+        if had_faults != self.faults.is_some() {
+            return Err(SnapError::new(
+                "fault-schedule mismatch between snapshot and run spec",
+            ));
+        }
+        if let Some(fs) = &mut self.faults {
+            fs.snap_restore(r)?;
+        }
+        Ok(())
     }
 
     /// Test-only mutation hook: skews the audit's `created` tally by one

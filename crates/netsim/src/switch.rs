@@ -8,6 +8,7 @@ use crate::queue::PortQueue;
 use crate::topology::RouteTable;
 use std::sync::Arc;
 use vertigo_pkt::{ecmp_hash, pool, NodeId, Packet, PortId, MAX_HOPS};
+use vertigo_simcore::{SnapError, SnapReader, SnapWriter, Snapshot};
 use vertigo_stats::{pack_ports, DropCause, TraceKind, TraceRecord, TRACE_NO_RANK};
 
 /// Emits one provenance record for `pkt`. A free function rather than a
@@ -130,6 +131,53 @@ impl Switch {
     /// Total packets queued across all ports (conservation audit).
     pub fn queued_pkts(&self) -> u64 {
         self.ports.iter().map(|p| p.queue.len() as u64).sum()
+    }
+
+    /// Serializes the mutable switch state: per-port queue contents and
+    /// busy flags, DRILL's remembered ports, and the queue high-water
+    /// mark. Config, routes, and the ECMP salt derive from the run spec
+    /// and are not saved.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.ports.len());
+        for port in &self.ports {
+            port.queue.snap_save(w);
+            w.put_bool(port.busy);
+        }
+        w.put_usize(self.drill_best.len());
+        for d in &self.drill_best {
+            d.save(w);
+        }
+        w.put_u64(self.max_port_bytes);
+    }
+
+    /// Restores state written by [`Switch::snap_save`] into a switch
+    /// freshly built from the same run spec.
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let nports = r.get_usize()?;
+        if nports != self.ports.len() {
+            return Err(SnapError::new(format!(
+                "switch {}: snapshot has {nports} ports, topology has {}",
+                self.id.0,
+                self.ports.len()
+            )));
+        }
+        for port in &mut self.ports {
+            port.queue.snap_restore(r)?;
+            port.busy = r.get_bool()?;
+        }
+        let nbest = r.get_usize()?;
+        if nbest != self.drill_best.len() {
+            return Err(SnapError::new(format!(
+                "switch {}: snapshot has {nbest} DRILL entries, topology has {}",
+                self.id.0,
+                self.drill_best.len()
+            )));
+        }
+        for d in &mut self.drill_best {
+            *d = Option::restore(r)?;
+        }
+        self.max_port_bytes = r.get_u64()?;
+        Ok(())
     }
 
     /// Handles a packet arriving on `in_port`.

@@ -10,7 +10,7 @@
 //! persistent congestion (drops accumulate) — exactly the distinction §5
 //! says operators lose without deflection-aware monitoring.
 
-use vertigo_simcore::{SimDuration, SimTime};
+use vertigo_simcore::{SimDuration, SimTime, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Telemetry configuration.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +81,50 @@ impl Telemetry {
         self.last_deflections = deflections_cum;
         self.last_drops = drops_cum;
         self.last_ecn = ecn_cum;
+    }
+
+    /// Serializes the collected series and the delta cursors.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.samples.len());
+        for s in &self.samples {
+            s.at.save(w);
+            w.put_u64(s.queued_bytes);
+            w.put_u64(s.max_port_bytes);
+            w.put_u64(s.deflections);
+            w.put_u64(s.drops);
+            w.put_u64(s.ecn_marks);
+            w.put_u64(s.pending_events);
+        }
+        w.put_u64(self.last_deflections);
+        w.put_u64(self.last_drops);
+        w.put_u64(self.last_ecn);
+    }
+
+    /// Restores a series written by [`Telemetry::snap_save`].
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::new(format!(
+                "corrupt telemetry sample count {n} exceeds {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        self.samples.clear();
+        for _ in 0..n {
+            self.samples.push(TelemetrySample {
+                at: SimTime::restore(r)?,
+                queued_bytes: r.get_u64()?,
+                max_port_bytes: r.get_u64()?,
+                deflections: r.get_u64()?,
+                drops: r.get_u64()?,
+                ecn_marks: r.get_u64()?,
+                pending_events: r.get_u64()?,
+            });
+        }
+        self.last_deflections = r.get_u64()?;
+        self.last_drops = r.get_u64()?;
+        self.last_ecn = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@ mod hash;
 mod ids;
 mod packet;
 pub mod pool;
+mod snap;
 
 pub use hash::{ecmp_hash, fnv1a, fnv1a_u64, mix64};
 pub use ids::{FlowId, NodeId, PortId, QueryId};

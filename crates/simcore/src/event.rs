@@ -16,6 +16,7 @@
 //!   byte-identical experiment output).
 
 use crate::heapq::HeapEventQueue;
+use crate::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
 
@@ -179,6 +180,88 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Backend::Wheel(q) => q.peak_pending(),
             Backend::Heap(q) => q.peak_pending(),
+        }
+    }
+}
+
+impl<E: Snapshot> EventQueue<E> {
+    /// Serializes the queue for a checkpoint: the clock, the lifetime
+    /// counters, and every pending event in **pop order** — then rebuilds
+    /// the queue in place so the simulation keeps running unperturbed.
+    ///
+    /// Pop order is the only ordering fact the restored queue needs: the
+    /// rebuild re-files events with fresh tie-breaking sequences `0..n`
+    /// and then restores the insertion counter to its original value, so
+    /// FIFO ties survive and future pushes order after every pending tie.
+    /// The drain-and-rebuild is invisible to the running simulation
+    /// (identical clock, counters, and pop sequence afterwards); the
+    /// wheel/heap differential suite plus the snapshot proptests pin that
+    /// down.
+    pub fn save_into(&mut self, w: &mut SnapWriter) {
+        let backend = self.backend();
+        let now = self.now().as_nanos();
+        let total = self.scheduled_total();
+        let peak = self.peak_pending();
+        let mut events: Vec<(u64, E)> = Vec::with_capacity(self.len());
+        while let Some((t, ev)) = self.pop() {
+            events.push((t.as_nanos(), ev));
+        }
+        w.put_u64(now);
+        w.put_u64(total);
+        w.put_usize(peak);
+        w.put_usize(events.len());
+        for (at, ev) in &events {
+            w.put_u64(*at);
+            ev.save(w);
+        }
+        *self = Self::rebuilt(backend, now, total, peak, events);
+    }
+
+    /// Reconstructs a queue serialized by [`EventQueue::save_into`] onto
+    /// the given backend. The backend choice is free: the snapshot holds
+    /// pop order, which both backends reproduce identically.
+    pub fn restore_from(r: &mut SnapReader<'_>, backend: EventBackend) -> Result<Self, SnapError> {
+        let now = r.get_u64()?;
+        let total = r.get_u64()?;
+        let peak = r.get_usize()?;
+        let n = r.get_usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::new(format!(
+                "corrupt event count {n} exceeds {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        let mut events = Vec::with_capacity(n);
+        let mut prev = now;
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            if at < prev {
+                return Err(SnapError::new(format!(
+                    "event stream not in pop order ({at} after {prev})"
+                )));
+            }
+            prev = at;
+            events.push((at, E::restore(r)?));
+        }
+        Ok(Self::rebuilt(backend, now, total, peak, events))
+    }
+
+    fn rebuilt(
+        backend: EventBackend,
+        now: u64,
+        total: u64,
+        peak: usize,
+        events: Vec<(u64, E)>,
+    ) -> Self {
+        EventQueue {
+            inner: match backend {
+                EventBackend::Wheel => {
+                    Backend::Wheel(TimingWheel::rebuild(now, total, peak, events))
+                }
+                EventBackend::Heap => {
+                    Backend::Heap(HeapEventQueue::rebuild(now, total, peak, events))
+                }
+            },
         }
     }
 }
@@ -358,6 +441,72 @@ mod tests {
             let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
             assert_eq!(order, vec![15, 35, 50]);
         });
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        both(|b| {
+            let mut q = EventQueue::with_backend(b);
+            // Ties across cascade boundaries plus a popped prefix, so the
+            // snapshot sees a mid-run clock and staged state.
+            let far = SimTime::from_nanos(1_000_000);
+            q.push(far, 0u64);
+            q.push(far, 1);
+            q.push(SimTime::from_nanos(10), 99);
+            q.push(SimTime::from_nanos(300), 50);
+            assert_eq!(q.pop().unwrap().1, 99);
+
+            let mut w = SnapWriter::new();
+            q.save_into(&mut w);
+            let bytes = w.into_bytes();
+
+            // The save itself is invisible: the original keeps running.
+            let mut r = EventQueue::<u64>::restore_from(&mut SnapReader::new(&bytes), b).unwrap();
+            assert_eq!(r.now(), q.now());
+            assert_eq!(r.len(), q.len());
+            assert_eq!(r.scheduled_total(), q.scheduled_total());
+            assert_eq!(r.peak_pending(), q.peak_pending());
+            // A post-restore push must order AFTER the pending ties.
+            q.push(far, 2);
+            r.push(far, 2);
+            loop {
+                let (a, c) = (q.pop(), r.pop());
+                assert_eq!(a, c);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(q.scheduled_total(), r.scheduled_total());
+        });
+    }
+
+    #[test]
+    fn snapshot_restores_across_backends() {
+        // A wheel snapshot restored onto the heap (and vice versa) pops
+        // identically: the format carries pop order, not backend layout.
+        let mut q = EventQueue::with_backend(EventBackend::Wheel);
+        for i in 0..20u64 {
+            q.push(SimTime::from_nanos(i % 5 * 1000), i);
+        }
+        let mut w = SnapWriter::new();
+        q.save_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut h =
+            EventQueue::<u64>::restore_from(&mut SnapReader::new(&bytes), EventBackend::Heap)
+                .unwrap();
+        loop {
+            let (a, b) = (q.pop(), h.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let mut r = SnapReader::new(&[1, 2, 3]);
+        assert!(EventQueue::<u64>::restore_from(&mut r, EventBackend::Wheel).is_err());
     }
 
     #[test]

@@ -141,6 +141,33 @@ impl<E> HeapEventQueue<E> {
     pub fn peak_pending(&self) -> usize {
         self.peak
     }
+
+    /// Reconstructs a queue from snapshot state: the clock, the lifetime
+    /// counters, and every pending event in *pop order*. See
+    /// `TimingWheel::rebuild` for the sequence-renumbering rationale —
+    /// the two backends must agree.
+    pub(crate) fn rebuild(
+        now: u64,
+        scheduled_total: u64,
+        peak: usize,
+        events: Vec<(u64, E)>,
+    ) -> Self {
+        let mut q = HeapEventQueue::new();
+        q.now = SimTime::from_nanos(now);
+        let n = events.len();
+        debug_assert!(scheduled_total >= n as u64);
+        for (i, (at, ev)) in events.into_iter().enumerate() {
+            debug_assert!(at >= now, "snapshot held an event in the past");
+            q.heap.push(Reverse(Entry {
+                at: SimTime::from_nanos(at.max(now)),
+                seq: i as u64,
+                ev,
+            }));
+        }
+        q.seq = scheduled_total;
+        q.peak = peak.max(n);
+        q
+    }
 }
 
 impl<E> Default for HeapEventQueue<E> {

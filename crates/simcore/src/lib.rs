@@ -22,6 +22,7 @@
 mod event;
 mod heapq;
 mod rng;
+mod snap;
 mod time;
 mod timer;
 mod wheel;
@@ -29,5 +30,8 @@ mod wheel;
 pub use event::{EventBackend, EventQueue};
 pub use heapq::HeapEventQueue;
 pub use rng::SimRng;
+pub use snap::{
+    SnapError, SnapReader, SnapWriter, Snapshot, SNAPSHOT_AVAILABLE, SNAP_MAGIC, SNAP_VERSION,
+};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerSlot, TimerToken};

@@ -283,6 +283,35 @@ impl<E> TimingWheel<E> {
     pub(crate) fn peak_pending(&self) -> usize {
         self.peak
     }
+
+    /// Reconstructs a wheel from snapshot state: the clock, the lifetime
+    /// counters, and every pending event in *pop order*.
+    ///
+    /// Events are re-filed with fresh sequence numbers `0..n` — pop order
+    /// is all that matters for FIFO ties, and re-numbering keeps the
+    /// rebuild independent of where each event originally sat in the
+    /// schedule history. The insertion counter is then bumped back up to
+    /// `scheduled_total` so future pushes order after every restored tie
+    /// and the `events_scheduled` diagnostic stays byte-identical.
+    pub(crate) fn rebuild(
+        now: u64,
+        scheduled_total: u64,
+        peak: usize,
+        events: Vec<(u64, E)>,
+    ) -> Self {
+        let mut w = TimingWheel::new();
+        w.now = now;
+        let n = events.len();
+        debug_assert!(scheduled_total >= n as u64);
+        for (i, (at, ev)) in events.into_iter().enumerate() {
+            debug_assert!(at >= now, "snapshot held an event in the past");
+            w.place(at.max(now), i as u64, ev);
+        }
+        w.seq = scheduled_total;
+        w.len = n;
+        w.peak = peak.max(n);
+        w
+    }
 }
 
 #[cfg(test)]

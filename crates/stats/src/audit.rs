@@ -27,6 +27,11 @@
 //! empty, so fault-free production runs are bit-identical with and without
 //! the feature. The hooks observe; they never perturb.
 
+/// Whether this build carries live audit counters. Snapshot headers
+/// record it: audit tallies are serialized only when the feature is on,
+/// so a checkpoint is only restorable by a build with the same setting.
+pub const AUDIT_AVAILABLE: bool = cfg!(feature = "audit");
+
 /// Packet-custody counters for the conservation audit.
 ///
 /// All methods are safe to call unconditionally; without the `audit`
@@ -100,6 +105,43 @@ impl AuditHooks {
         {
             self.checks += 1;
         }
+    }
+
+    /// Serializes the tallies. Writes the four counters under the `audit`
+    /// feature and nothing otherwise — the VSNP header's feature flags
+    /// guarantee a snapshot is only restored by a build with the same
+    /// feature set, so the two layouts never meet.
+    pub fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        #[cfg(feature = "audit")]
+        {
+            w.put_u64(self.created);
+            w.put_u64(self.consumed);
+            w.put_u64(self.wire);
+            w.put_u64(self.checks);
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            let _ = w;
+        }
+    }
+
+    /// Restores tallies written by [`AuditHooks::snap_save`].
+    pub fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        #[cfg(feature = "audit")]
+        {
+            self.created = r.get_u64()?;
+            self.consumed = r.get_u64()?;
+            self.wire = r.get_u64()?;
+            self.checks = r.get_u64()?;
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            let _ = r;
+        }
+        Ok(())
     }
 
     /// Number of invariant evaluations performed (0 without `audit`).

@@ -16,7 +16,7 @@ pub mod report;
 pub mod summary;
 pub mod trace;
 
-pub use audit::AuditHooks;
+pub use audit::{AuditHooks, AUDIT_AVAILABLE};
 pub use recorder::{DropCause, FlowRecord, QueryRecord, Recorder, DROP_CAUSES};
 pub use report::{Report, ELEPHANT_BYTES, MICE_BYTES};
 pub use summary::{mean, percentile, percentile_sorted, Cdf, Running};

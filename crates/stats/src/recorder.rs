@@ -273,6 +273,109 @@ impl Recorder {
     pub fn total_drops(&self) -> u64 {
         self.drops.iter().sum()
     }
+
+    /// Serializes every accumulator: flow and query lifecycles, drop/
+    /// deflection/ECN/goodput counters, and the embedded audit and trace
+    /// state. `BTreeMap`s iterate sorted, so the stream is deterministic.
+    pub fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        w.put_usize(self.flows.len());
+        for rec in self.flows.values() {
+            w.put_u64(rec.flow.0);
+            w.put_u64(rec.query.0);
+            w.put_u32(rec.src.0);
+            w.put_u32(rec.dst.0);
+            w.put_u64(rec.bytes);
+            rec.start.save(w);
+            rec.finished.save(w);
+            w.put_u64(rec.delivered_bytes);
+        }
+        w.put_usize(self.queries.len());
+        for rec in self.queries.values() {
+            w.put_u64(rec.query.0);
+            rec.start.save(w);
+            w.put_u32(rec.expected_flows);
+            w.put_u32(rec.done_flows);
+            rec.finished.save(w);
+        }
+        for d in &self.drops {
+            w.put_u64(*d);
+        }
+        w.put_u64(self.dropped_bytes);
+        w.put_u64(self.deflections);
+        w.put_u64(self.trims);
+        w.put_u64(self.ecn_marks);
+        w.put_u64(self.data_delivered);
+        w.put_u64(self.hops_delivered);
+        w.put_u64(self.goodput_bytes);
+        w.put_u64(self.transport_reorders);
+        w.put_u64(self.data_sent);
+        w.put_u64(self.retransmits);
+        w.put_u64(self.rtos);
+        w.put_f64(self.mice_queueing_secs);
+        w.put_u64(self.mice_queueing_pkts);
+        w.put_u64(self.fault_events);
+        self.audit.snap_save(w);
+        self.trace.snap_save(w);
+    }
+
+    /// Restores state written by [`Recorder::snap_save`], replacing the
+    /// recorder's entire contents.
+    pub fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        use vertigo_simcore::Snapshot;
+        self.flows.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let flow = FlowId(r.get_u64()?);
+            let rec = FlowRecord {
+                flow,
+                query: QueryId(r.get_u64()?),
+                src: NodeId(r.get_u32()?),
+                dst: NodeId(r.get_u32()?),
+                bytes: r.get_u64()?,
+                start: SimTime::restore(r)?,
+                finished: Option::restore(r)?,
+                delivered_bytes: r.get_u64()?,
+            };
+            self.flows.insert(flow, rec);
+        }
+        self.queries.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let query = QueryId(r.get_u64()?);
+            let rec = QueryRecord {
+                query,
+                start: SimTime::restore(r)?,
+                expected_flows: r.get_u32()?,
+                done_flows: r.get_u32()?,
+                finished: Option::restore(r)?,
+            };
+            self.queries.insert(query, rec);
+        }
+        for d in self.drops.iter_mut() {
+            *d = r.get_u64()?;
+        }
+        self.dropped_bytes = r.get_u64()?;
+        self.deflections = r.get_u64()?;
+        self.trims = r.get_u64()?;
+        self.ecn_marks = r.get_u64()?;
+        self.data_delivered = r.get_u64()?;
+        self.hops_delivered = r.get_u64()?;
+        self.goodput_bytes = r.get_u64()?;
+        self.transport_reorders = r.get_u64()?;
+        self.data_sent = r.get_u64()?;
+        self.retransmits = r.get_u64()?;
+        self.rtos = r.get_u64()?;
+        self.mice_queueing_secs = r.get_f64()?;
+        self.mice_queueing_pkts = r.get_u64()?;
+        self.fault_events = r.get_u64()?;
+        self.audit.snap_restore(r)?;
+        self.trace.snap_restore(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +447,43 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), DROP_CAUSES);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_all_counters() {
+        use vertigo_simcore::{SnapReader, SnapWriter};
+        let mut r = Recorder::new();
+        let q = QueryId(1);
+        r.query_started(q, 2, t(0));
+        r.flow_started(FlowId(1), q, NodeId(0), NodeId(1), 1000, t(10));
+        r.flow_started(FlowId(2), QueryId::NONE, NodeId(2), NodeId(3), 500, t(20));
+        r.flow_progress(FlowId(1), 400);
+        r.flow_finished(FlowId(1), t(110));
+        r.on_drop(DropCause::DeflectionFull, 1500);
+        r.deflections = 7;
+        r.mice_queueing_secs = 0.125;
+        r.fault_events = 3;
+        let mut w = SnapWriter::new();
+        r.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r2 = Recorder::new();
+        let mut reader = SnapReader::new(&bytes);
+        r2.snap_restore(&mut reader).unwrap();
+        assert_eq!(reader.remaining(), 0);
+        assert_eq!(format!("{:?}", r2.flows), format!("{:?}", r.flows));
+        assert_eq!(format!("{:?}", r2.queries), format!("{:?}", r.queries));
+        assert_eq!(r2.drops, r.drops);
+        assert_eq!(r2.deflections, 7);
+        assert_eq!(r2.goodput_bytes, 400);
+        assert_eq!(r2.mice_queueing_secs, 0.125);
+        assert_eq!(r2.fault_events, 3);
+        // Future behavior identical: finishing the second query flow closes
+        // the query the same way in both.
+        r.flow_started(FlowId(3), q, NodeId(4), NodeId(0), 200, t(200));
+        r2.flow_started(FlowId(3), q, NodeId(4), NodeId(0), 200, t(200));
+        r.flow_finished(FlowId(3), t(300));
+        r2.flow_finished(FlowId(3), t(300));
+        assert_eq!(r2.queries[&q].done_flows, r.queries[&q].done_flows);
     }
 
     #[test]

@@ -502,6 +502,100 @@ impl TraceSink {
         out
     }
 
+    /// Serializes the full recording state — filter, ring capacity, global
+    /// sequence counter, and every ring's contents (including each ring's
+    /// rotation point and overflow count) — so a resumed run's rings evolve
+    /// exactly like the straight-through run's and the final `.vtrace`
+    /// stream is byte-identical. Writes nothing without the `trace`
+    /// feature; the VSNP header's feature flags keep the layouts apart.
+    pub fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        #[cfg(feature = "trace")]
+        {
+            use vertigo_simcore::Snapshot;
+            match self.inner.as_deref() {
+                None => w.put_bool(false),
+                Some(inner) => {
+                    w.put_bool(true);
+                    inner.filter.flow.save(w);
+                    inner.filter.node.save(w);
+                    w.put_u64(inner.filter.from_ns);
+                    w.put_u64(inner.filter.until_ns);
+                    w.put_usize(inner.capacity);
+                    w.put_u64(inner.seq);
+                    w.put_usize(inner.rings.len());
+                    for ring in &inner.rings {
+                        w.put_usize(ring.start);
+                        w.put_u64(ring.overwritten);
+                        w.put_usize(ring.buf.len());
+                        for (seq, rec) in &ring.buf {
+                            w.put_u64(*seq);
+                            w.put_bytes(&rec.encode());
+                        }
+                    }
+                }
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = w;
+        }
+    }
+
+    /// Restores state written by [`TraceSink::snap_save`].
+    pub fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        #[cfg(feature = "trace")]
+        {
+            use vertigo_simcore::Snapshot;
+            if !r.get_bool()? {
+                self.inner = None;
+                return Ok(());
+            }
+            let filter = TraceFilter {
+                flow: Option::restore(r)?,
+                node: Option::restore(r)?,
+                from_ns: r.get_u64()?,
+                until_ns: r.get_u64()?,
+            };
+            let capacity = r.get_usize()?;
+            let seq = r.get_u64()?;
+            let nrings = r.get_usize()?;
+            let mut rings = Vec::with_capacity(nrings.min(r.remaining()));
+            for _ in 0..nrings {
+                let start = r.get_usize()?;
+                let overwritten = r.get_u64()?;
+                let nbuf = r.get_usize()?;
+                let mut buf = Vec::with_capacity(nbuf.min(r.remaining()));
+                for _ in 0..nbuf {
+                    let rec_seq = r.get_u64()?;
+                    let bytes: [u8; TRACE_RECORD_BYTES] = r
+                        .get_bytes(TRACE_RECORD_BYTES)?
+                        .try_into()
+                        .expect("exact length");
+                    buf.push((rec_seq, TraceRecord::decode(&bytes)));
+                }
+                rings.push(NodeRing {
+                    buf,
+                    start,
+                    overwritten,
+                });
+            }
+            self.inner = Some(Box::new(TraceInner {
+                filter,
+                capacity,
+                rings,
+                seq,
+            }));
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = r;
+        }
+        Ok(())
+    }
+
     /// All `(seq, record)` pairs across rings, sorted by sequence. Each
     /// ring is internally seq-ordered (oldest at `start`), so this is a
     /// k-way merge; a sort keeps it simple at bounded capacity.
@@ -683,6 +777,49 @@ mod tests {
         s.record(rec(1, 5, 1, TraceKind::Drop));
         assert_eq!(s.len(), 1);
         assert_eq!(s.records()[0].node, 5);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn snapshot_round_trip_preserves_rings_and_serialization() {
+        use vertigo_simcore::{SnapReader, SnapWriter};
+        let mut s = TraceSink::new();
+        s.arm(TraceFilter::default(), 2, 4);
+        for t in 0..7 {
+            s.record(rec(t, (t % 2) as u32, 1, TraceKind::Enqueue));
+        }
+        let mut w = SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut s2 = TraceSink::new();
+        let mut r = SnapReader::new(&bytes);
+        s2.snap_restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(s2.enabled());
+        assert_eq!(s2.len(), s.len());
+        assert_eq!(s2.overwritten(), s.overwritten());
+        assert_eq!(s2.serialize(), s.serialize());
+        // Future records land identically (same seq numbering, same ring
+        // rotation through the overwrite path).
+        for t in 7..12 {
+            s.record(rec(t, 0, 1, TraceKind::Dequeue));
+            s2.record(rec(t, 0, 1, TraceKind::Dequeue));
+        }
+        assert_eq!(s2.serialize(), s.serialize());
+    }
+
+    #[test]
+    fn disarmed_sink_snapshot_round_trips() {
+        use vertigo_simcore::{SnapReader, SnapWriter};
+        let s = TraceSink::new();
+        let mut w = SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut s2 = TraceSink::new();
+        let mut r = SnapReader::new(&bytes);
+        s2.snap_restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(!s2.enabled());
     }
 
     #[cfg(not(feature = "trace"))]

@@ -7,7 +7,7 @@
 //! answers with a window (in MSS units, possibly fractional) and an
 //! optional pacing interval (Swift's sub-packet windows).
 
-use vertigo_simcore::{SimDuration, SimTime};
+use vertigo_simcore::{SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 
 /// Everything a controller may want to know about one cumulative ACK.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +56,15 @@ pub trait CongestionControl: std::fmt::Debug + Send {
 
     /// Short protocol name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serializes the controller's mutable state for a checkpoint. The
+    /// configuration is *not* saved — resume reconstructs the controller
+    /// from the run spec and then overlays this state.
+    fn snap_save(&self, w: &mut SnapWriter);
+
+    /// Restores state written by [`CongestionControl::snap_save`] into a
+    /// freshly constructed controller of the same kind and configuration.
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 /// Which congestion controller a flow uses; carried in experiment configs.

@@ -142,6 +142,28 @@ impl CongestionControl for Dctcp {
     fn name(&self) -> &'static str {
         "DCTCP"
     }
+
+    fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_f64(self.alpha);
+        w.put_u64(self.window_acked);
+        w.put_u64(self.window_marked);
+        w.put_u64(self.window_len);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        self.cwnd = r.get_f64()?;
+        self.ssthresh = r.get_f64()?;
+        self.alpha = r.get_f64()?;
+        self.window_acked = r.get_u64()?;
+        self.window_marked = r.get_u64()?;
+        self.window_len = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

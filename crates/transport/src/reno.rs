@@ -87,6 +87,20 @@ impl CongestionControl for Reno {
     fn name(&self) -> &'static str {
         "TCP"
     }
+
+    fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        self.cwnd = r.get_f64()?;
+        self.ssthresh = r.get_f64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

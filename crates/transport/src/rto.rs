@@ -93,6 +93,30 @@ impl RtoEstimator {
     pub fn backoff_count(&self) -> u32 {
         self.backoff_exp
     }
+
+    /// Serializes the estimator's mutable state (the config is not saved;
+    /// resume reconstructs it from the run spec).
+    pub fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        self.srtt.save(w);
+        self.rttvar.save(w);
+        self.rto.save(w);
+        w.put_u32(self.backoff_exp);
+    }
+
+    /// Restores state written by [`RtoEstimator::snap_save`] into an
+    /// estimator freshly built with the same config.
+    pub fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        use vertigo_simcore::Snapshot;
+        self.srtt = Option::restore(r)?;
+        self.rttvar = SimDuration::restore(r)?;
+        self.rto = SimDuration::restore(r)?;
+        self.backoff_exp = r.get_u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -405,6 +405,83 @@ impl FlowSender {
         }
     }
 
+    /// Serializes the full sending state machine, congestion controller
+    /// and RTO estimator included. The transport config is not saved —
+    /// [`FlowSender::snap_restore`] rebuilds it from the run spec.
+    pub fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        self.flow.save(w);
+        w.put_u64(self.size);
+        self.cc.snap_save(w);
+        self.rto.snap_save(w);
+        w.put_u64(self.next_seq);
+        w.put_u64(self.cum_acked);
+        w.put_u32(self.dup_acks);
+        w.put_bool(self.in_recovery);
+        w.put_u64(self.recover_point);
+        w.put_usize(self.outstanding.len());
+        for (&seq, seg) in &self.outstanding {
+            w.put_u64(seq);
+            w.put_u32(seg.len);
+            w.put_bool(seg.lost);
+            w.put_u32(seg.sends);
+        }
+        w.put_usize(self.lost.len());
+        for &seq in &self.lost {
+            w.put_u64(seq);
+        }
+        w.put_u64(self.flight);
+        self.rto_deadline.save(w);
+        self.pace_next.save(w);
+        w.put_bool(self.completed);
+        w.put_u64(self.stats.segments_sent);
+        w.put_u64(self.stats.retransmits);
+        w.put_u64(self.stats.fast_retransmits);
+        w.put_u64(self.stats.rtos);
+    }
+
+    /// Reconstructs a sender from a [`FlowSender::snap_save`] stream and
+    /// the (unsaved) transport config.
+    pub fn snap_restore(
+        cfg: TransportConfig,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<Self, vertigo_simcore::SnapError> {
+        use vertigo_simcore::Snapshot;
+        let flow = FlowId::restore(r)?;
+        let size = r.get_u64()?;
+        let mut s = FlowSender::new(flow, size, cfg);
+        s.cc.snap_restore(r)?;
+        s.rto.snap_restore(r)?;
+        s.next_seq = r.get_u64()?;
+        s.cum_acked = r.get_u64()?;
+        s.dup_acks = r.get_u32()?;
+        s.in_recovery = r.get_bool()?;
+        s.recover_point = r.get_u64()?;
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            let seg = Seg {
+                len: r.get_u32()?,
+                lost: r.get_bool()?,
+                sends: r.get_u32()?,
+            };
+            s.outstanding.insert(seq, seg);
+        }
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            s.lost.insert(r.get_u64()?);
+        }
+        s.flight = r.get_u64()?;
+        s.rto_deadline = Option::restore(r)?;
+        s.pace_next = SimTime::restore(r)?;
+        s.completed = r.get_bool()?;
+        s.stats.segments_sent = r.get_u64()?;
+        s.stats.retransmits = r.get_u64()?;
+        s.stats.fast_retransmits = r.get_u64()?;
+        s.stats.rtos = r.get_u64()?;
+        Ok(s)
+    }
+
     /// Timer callback: fires the RTO if due (pacing wakeups need no state
     /// change — the caller just polls for segments again).
     pub fn on_timer(&mut self, now: SimTime) {
@@ -637,6 +714,54 @@ mod tests {
         let deadline = s.next_deadline(t(150)).expect("pacing deadline");
         assert!(deadline >= t(250), "pace gap too short: {deadline:?}");
         assert!(s.poll_segment(deadline).is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_recovery() {
+        use vertigo_simcore::{SnapReader, SnapWriter};
+        // Drive a sender into the messiest reachable state: mid-recovery
+        // with holes, dupacks, and an armed RTO — then snapshot, restore,
+        // and check both machines behave identically from there on.
+        let mut s = FlowSender::new(FlowId(1), 100 * MSS, cfg());
+        while s.poll_segment(t(0)).is_some() {}
+        for i in 0..3 {
+            s.on_ack(t(100 + i), &ack(0, t(0)));
+        }
+        assert!(s.stats().fast_retransmits == 1);
+        let mut w = SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut s2 = FlowSender::snap_restore(cfg(), &mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(s2.cwnd(), s.cwnd());
+        assert_eq!(s2.flight_bytes(), s.flight_bytes());
+        assert_eq!(s2.next_deadline(t(150)), s.next_deadline(t(150)));
+        // Identical continuation: retransmission, partial ACK, new data.
+        for now in [200u64, 300, 400] {
+            assert_eq!(s.poll_segment(t(now)), s2.poll_segment(t(now)));
+            let a = ack(MSS * (now / 100 - 1), t(now - 100));
+            assert_eq!(s.on_ack(t(now + 50), &a), s2.on_ack(t(now + 50), &a));
+        }
+        assert_eq!(s.stats().segments_sent, s2.stats().segments_sent);
+        assert_eq!(s.stats().retransmits, s2.stats().retransmits);
+    }
+
+    #[test]
+    fn snapshot_round_trip_swift_pacing() {
+        use vertigo_simcore::{SnapReader, SnapWriter};
+        let mut c = TransportConfig::default_for(CcKind::Swift);
+        c.swift.init_cwnd = 0.5;
+        let mut s = FlowSender::new(FlowId(2), 10 * MSS, c);
+        s.poll_segment(t(0)).unwrap();
+        s.on_ack(t(100), &ack(MSS, t(0)));
+        s.poll_segment(t(101)).unwrap();
+        let mut w = SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let s2 = FlowSender::snap_restore(c, &mut SnapReader::new(&bytes)).unwrap();
+        // Pacing deadline (sub-packet window) survives the round trip.
+        assert_eq!(s2.next_deadline(t(102)), s.next_deadline(t(102)));
+        assert_eq!(s2.cwnd(), s.cwnd());
+        assert_eq!(s2.srtt(), s.srtt());
     }
 
     #[test]

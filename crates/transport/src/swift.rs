@@ -178,6 +178,26 @@ impl CongestionControl for Swift {
     fn name(&self) -> &'static str {
         "Swift"
     }
+
+    fn snap_save(&self, w: &mut vertigo_simcore::SnapWriter) {
+        use vertigo_simcore::Snapshot;
+        w.put_f64(self.cwnd);
+        self.last_decrease.save(w);
+        self.last_rtt.save(w);
+        w.put_u32(self.consecutive_rtos);
+    }
+
+    fn snap_restore(
+        &mut self,
+        r: &mut vertigo_simcore::SnapReader<'_>,
+    ) -> Result<(), vertigo_simcore::SnapError> {
+        use vertigo_simcore::Snapshot;
+        self.cwnd = r.get_f64()?;
+        self.last_decrease = Option::restore(r)?;
+        self.last_rtt = Option::restore(r)?;
+        self.consecutive_rtos = r.get_u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,11 @@
 
 pub mod dists;
 pub mod runner;
+pub mod snapshot;
 pub mod traffic;
 
 pub use dists::{DistKind, EmpiricalCdf, CACHE_FOLLOWER, DATA_MINING, WEB_SEARCH};
 pub use runner::{RunOutput, RunSpec, SystemKind, TopoKind, VertigoTuning};
+pub use snapshot::{CheckpointSpec, SnapshotSpec};
 pub use traffic::{install_background, install_incast, BackgroundSpec, IncastSpec, WorkloadSpec};
 pub use vertigo_netsim::{FaultSchedule, TraceSpec};

@@ -7,15 +7,16 @@
 //! integration tests, and the examples, so every figure in EXPERIMENTS.md
 //! is reproducible from a `RunSpec` literal.
 
+use crate::snapshot::{self, SnapshotSpec};
 use crate::traffic::WorkloadSpec;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use vertigo_core::{MarkingConfig, MarkingDiscipline, OrderingConfig, OrderingMode};
 use vertigo_netsim::trace::stable_hash;
 use vertigo_netsim::{
     BufferPolicy, FaultSchedule, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig,
     TopologySpec, TraceSpec,
 };
-use vertigo_simcore::{EventBackend, SimDuration};
+use vertigo_simcore::{EventBackend, SimDuration, SimTime, SnapReader, SNAPSHOT_AVAILABLE};
 use vertigo_stats::{Report, TRACE_AVAILABLE, TRACE_HEADER_BYTES, TRACE_RECORD_BYTES};
 use vertigo_transport::{CcKind, TransportConfig};
 
@@ -290,24 +291,88 @@ impl RunSpec {
     /// is requested but the binary was built without `--features trace`
     /// (a silent empty trace would be worse than a loud failure).
     pub fn run_with_trace(&self, trace: Option<&TraceSpec>) -> RunOutput {
+        self.run_with_options(trace, None)
+    }
+
+    /// The full-option entry point behind every experiment subcommand:
+    /// optional provenance tracing plus optional checkpoint/resume.
+    ///
+    /// Checkpoints are written at every multiple of the requested period
+    /// strictly below the horizon, each at a *quiescent* boundary (all
+    /// events up to and including the checkpoint time processed), so a
+    /// resumed run pops the exact remaining event sequence. The resumed
+    /// run's `RunOutput` — report, telemetry, stdout, and (in a trace
+    /// build) the trace stream from the resume point on — is
+    /// byte-identical to the straight-through run's; CI digest-diffs
+    /// this on both event backends.
+    ///
+    /// Panics, mirroring the `--trace` check above, if checkpoint or
+    /// resume options are given to a binary built without
+    /// `--features snapshot`, and on any `--resume` mismatch (format
+    /// version, build features, or run spec) — a silently wrong resume
+    /// would be worse than a loud failure.
+    pub fn run_with_options(
+        &self,
+        trace: Option<&TraceSpec>,
+        snapshot: Option<&SnapshotSpec>,
+    ) -> RunOutput {
+        // Deliberately *runtime* asserts, not const blocks: plain builds
+        // must compile and only fail if the option is actually requested.
+        #[allow(clippy::assertions_on_constants)]
+        if trace.is_some() {
+            assert!(
+                TRACE_AVAILABLE,
+                "--trace requires a binary built with `--features trace` \
+                 (this build compiled the hooks out); rebuild and rerun"
+            );
+        }
+        #[allow(clippy::assertions_on_constants)]
+        if snapshot.is_some_and(|s| s.is_active()) {
+            assert!(
+                SNAPSHOT_AVAILABLE,
+                "--checkpoint-every/--resume require a binary built with \
+                 `--features snapshot` (this build compiled the checkpoint \
+                 plumbing out); rebuild and rerun"
+            );
+        }
+
+        let mut sim = self.build();
         if let Some(spec) = trace {
-            // Deliberately a *runtime* assert, not a const block: plain
-            // builds must compile and only fail if a trace is requested.
-            #[allow(clippy::assertions_on_constants)]
-            {
-                assert!(
-                    TRACE_AVAILABLE,
-                    "--trace requires a binary built with `--features trace` \
-                     (this build compiled the hooks out); rebuild and rerun"
-                );
-            }
-            // Fall through with tracing armed.
-            let mut sim = self.build();
             sim.enable_trace(spec.filter, spec.capacity);
-            let offered = self
-                .workload
-                .offered_load(sim.topology().total_host_bw_bps());
-            let report = sim.run();
+        }
+        let offered = self
+            .workload
+            .offered_load(sim.topology().total_host_bw_bps());
+
+        let resumed_ns = snapshot
+            .and_then(|s| s.resume.as_deref())
+            .and_then(|arg| self.try_resume(&mut sim, arg));
+
+        if let Some(ck) = snapshot.and_then(|s| s.checkpoint.as_ref()) {
+            let every = ck.every.as_nanos();
+            let horizon = self.horizon.as_nanos();
+            let hash = self.spec_hash();
+            let mut t = every;
+            while t < horizon {
+                // Checkpoints at or before the resume point already
+                // exist on disk (we resumed past them); skip, don't
+                // clobber.
+                if resumed_ns.is_none_or(|r| t > r) {
+                    sim.drain_until(SimTime::ZERO + SimDuration::from_nanos(t));
+                    let path =
+                        snapshot::write_checkpoint(&mut sim, &ck.stem, hash, t, self.event_backend);
+                    // Stderr, not stdout: experiment stdout is
+                    // digest-diffed against straight-through runs and
+                    // must stay byte-identical.
+                    eprintln!("[snapshot] wrote {} (t = {t} ns)", path.display());
+                }
+                t += every;
+            }
+        }
+
+        let report = sim.run();
+
+        let trace_path = trace.map(|spec| {
             let out_path = self.trace_path(spec);
             let bytes = sim.trace_bytes();
             if let Some(parent) = out_path.parent() {
@@ -318,36 +383,76 @@ impl RunSpec {
             }
             std::fs::write(&out_path, &bytes)
                 .unwrap_or_else(|e| panic!("writing trace {}: {e}", out_path.display()));
-            // Stderr, not stdout: experiment stdout is digest-diffed
-            // against untraced runs and must stay byte-identical.
             eprintln!(
                 "[trace] wrote {} ({} records)",
                 out_path.display(),
                 bytes.len().saturating_sub(TRACE_HEADER_BYTES) / TRACE_RECORD_BYTES
             );
-            RunOutput {
-                report,
-                ordering: sim.ordering_stats(),
-                marking: sim.marking_stats(),
-                max_port_bytes: sim.max_port_bytes(),
-                offered_load: offered,
-                trace_path: Some(out_path),
-            }
-        } else {
-            let mut sim = self.build();
-            let offered = self
-                .workload
-                .offered_load(sim.topology().total_host_bw_bps());
-            let report = sim.run();
-            RunOutput {
-                report,
-                ordering: sim.ordering_stats(),
-                marking: sim.marking_stats(),
-                max_port_bytes: sim.max_port_bytes(),
-                offered_load: offered,
-                trace_path: None,
-            }
+            out_path
+        });
+
+        RunOutput {
+            report,
+            ordering: sim.ordering_stats(),
+            marking: sim.marking_stats(),
+            max_port_bytes: sim.max_port_bytes(),
+            offered_load: offered,
+            trace_path,
         }
+    }
+
+    /// Resolves and applies a `--resume` argument. Returns the resumed
+    /// checkpoint's sim time, or `None` (with a stderr notice) when there
+    /// is nothing on disk to resume from — the latter keeps `--resume`
+    /// safe to leave in restart loops that may start from scratch.
+    fn try_resume(&self, sim: &mut Simulation, arg: &Path) -> Option<u64> {
+        let hash = self.spec_hash();
+        let Some(path) = snapshot::resolve_resume(arg, hash) else {
+            eprintln!(
+                "[snapshot] nothing to resume at {} (no checkpoint for this spec); \
+                 starting from t = 0",
+                arg.display()
+            );
+            return None;
+        };
+        let bytes =
+            std::fs::read(&path).unwrap_or_else(|e| panic!("--resume {}: {e}", path.display()));
+        let mut r = SnapReader::new(&bytes);
+        let header = snapshot::read_header(&mut r)
+            .unwrap_or_else(|e| panic!("--resume {}: {e}", path.display()));
+        assert!(
+            header.flags == snapshot::build_flags(),
+            "--resume {}: snapshot was written by a build with {} but this binary \
+             was built with {} — the feature set changes the snapshot layout; \
+             rebuild with matching features and rerun",
+            path.display(),
+            snapshot::describe_flags(header.flags),
+            snapshot::describe_flags(snapshot::build_flags()),
+        );
+        assert!(
+            header.spec_hash == hash,
+            "--resume {}: snapshot belongs to a different run spec \
+             (snapshot hash {:016x}, this spec hashes to {hash:016x}); \
+             point --resume at the matching checkpoint or drop the flag",
+            path.display(),
+            header.spec_hash,
+        );
+        sim.restore_state(&mut r)
+            .unwrap_or_else(|e| panic!("--resume {}: {e}", path.display()));
+        eprintln!(
+            "[snapshot] resumed {} (t = {} ns)",
+            path.display(),
+            header.time_ns
+        );
+        Some(header.time_ns)
+    }
+
+    /// Stable 64-bit hash of the full spec debug form — the identity tag
+    /// baked into per-spec trace and checkpoint file names and into VSNP
+    /// headers, so a snapshot can never be silently restored into a
+    /// different experiment cell.
+    pub fn spec_hash(&self) -> u64 {
+        stable_hash(format!("{self:?}").as_bytes())
     }
 
     /// The file this spec's trace lands in under `spec.path`: the
@@ -355,7 +460,7 @@ impl RunSpec {
     /// debug form, so every cell of a sweep gets its own deterministic
     /// file regardless of `--jobs` scheduling.
     pub fn trace_path(&self, trace: &TraceSpec) -> PathBuf {
-        let tag = stable_hash(format!("{self:?}").as_bytes());
+        let tag = self.spec_hash();
         let stem = trace
             .path
             .file_stem()
@@ -501,6 +606,146 @@ mod tests {
             format!("{:?}", traced.report)
         );
         assert!(traced.trace_path.is_none());
+    }
+
+    #[test]
+    fn run_with_options_none_matches_run() {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(5);
+        let plain = spec.run();
+        // An inactive SnapshotSpec must be as good as no SnapshotSpec,
+        // even in builds without the `snapshot` feature.
+        let opted = spec.run_with_options(None, Some(&SnapshotSpec::default()));
+        assert_eq!(format!("{:?}", plain.report), format!("{:?}", opted.report));
+    }
+
+    #[cfg(feature = "snapshot")]
+    #[test]
+    fn checkpoint_then_resume_matches_straight_run() {
+        use crate::snapshot::CheckpointSpec;
+
+        let dir =
+            std::env::temp_dir().join(format!("vertigo-runner-snap-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(6);
+        spec.faults = FaultSchedule::parse("loss:*:0.001@1ms-3ms").unwrap();
+
+        let straight = spec.run();
+
+        // Checkpoint every 2 ms (→ t = 2 ms and 4 ms, below the horizon).
+        let ck = CheckpointSpec::parse(&format!("2ms:{}/ck.vsnp", dir.display())).unwrap();
+        let snap = SnapshotSpec {
+            checkpoint: Some(ck.clone()),
+            resume: None,
+        };
+        let checkpointed = spec.run_with_options(None, Some(&snap));
+        assert_eq!(
+            format!("{:?}", straight.report),
+            format!("{:?}", checkpointed.report),
+            "checkpointing must not perturb the run"
+        );
+        for t in [2_000_000u64, 4_000_000] {
+            assert!(
+                snapshot::snapshot_file(&ck.stem, spec.spec_hash(), t).is_file(),
+                "missing checkpoint at t = {t} ns"
+            );
+        }
+
+        // Resume from the stem (latest = 4 ms) and from each exact file;
+        // all must reproduce the straight-through run.
+        let mut resume_args = vec![ck.stem.clone()];
+        for t in [2_000_000u64, 4_000_000] {
+            resume_args.push(snapshot::snapshot_file(&ck.stem, spec.spec_hash(), t));
+        }
+        for arg in resume_args {
+            let snap = SnapshotSpec {
+                checkpoint: None,
+                resume: Some(arg.clone()),
+            };
+            let resumed = spec.run_with_options(None, Some(&snap));
+            assert_eq!(
+                format!("{:?}", straight.report),
+                format!("{:?}", resumed.report),
+                "resume via {} diverged",
+                arg.display()
+            );
+            assert_eq!(straight.max_port_bytes, resumed.max_port_bytes);
+            assert_eq!(
+                format!("{:?}", straight.ordering),
+                format!("{:?}", resumed.ordering)
+            );
+        }
+
+        // Resume + checkpoint together: pre-resume checkpoints are
+        // skipped (not clobbered), later ones are rewritten identically.
+        let before = std::fs::read(snapshot::snapshot_file(
+            &ck.stem,
+            spec.spec_hash(),
+            4_000_000,
+        ))
+        .unwrap();
+        let snap = SnapshotSpec {
+            checkpoint: Some(ck.clone()),
+            resume: Some(snapshot::snapshot_file(
+                &ck.stem,
+                spec.spec_hash(),
+                2_000_000,
+            )),
+        };
+        let resumed = spec.run_with_options(None, Some(&snap));
+        assert_eq!(
+            format!("{:?}", straight.report),
+            format!("{:?}", resumed.report)
+        );
+        let after = std::fs::read(snapshot::snapshot_file(
+            &ck.stem,
+            spec.spec_hash(),
+            4_000_000,
+        ))
+        .unwrap();
+        assert_eq!(before, after, "re-taken checkpoint must be byte-identical");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "snapshot")]
+    #[test]
+    fn resume_rejects_foreign_spec_snapshot() {
+        use crate::snapshot::CheckpointSpec;
+
+        let dir =
+            std::env::temp_dir().join(format!("vertigo-runner-snap-reject-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(4);
+        let ck = CheckpointSpec::parse(&format!("2ms:{}/ck.vsnp", dir.display())).unwrap();
+        let snap = SnapshotSpec {
+            checkpoint: Some(ck.clone()),
+            resume: None,
+        };
+        let _ = spec.run_with_options(None, Some(&snap));
+        let file = snapshot::snapshot_file(&ck.stem, spec.spec_hash(), 2_000_000);
+        assert!(file.is_file());
+
+        // A different seed is a different spec: exact-file resume panics.
+        let mut other = spec;
+        other.seed += 1;
+        let err = std::panic::catch_unwind(move || {
+            let snap = SnapshotSpec {
+                checkpoint: None,
+                resume: Some(file),
+            };
+            other.run_with_options(None, Some(&snap))
+        })
+        .expect_err("foreign-spec resume must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("different run spec"), "{msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[cfg(feature = "trace")]

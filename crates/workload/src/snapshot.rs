@@ -1,0 +1,348 @@
+//! Checkpoint/resume plumbing for experiment runs: the VSNP file format
+//! (header framing around [`Simulation::save_state`] payloads), the
+//! `--checkpoint-every SIMTIME[:PATH]` / `--resume PATH` CLI grammar,
+//! and on-disk file naming/resolution.
+//!
+//! ## File format
+//!
+//! ```text
+//! magic    [u8; 4]  "VSNP"
+//! version  u16      SNAP_VERSION (reader refuses mismatches)
+//! flags    u16      bit 0 = built with `audit`, bit 1 = built with `trace`
+//! backend  u8       0 = timing wheel, 1 = binary heap (informational:
+//!                   restore uses the run spec's backend — pop order is
+//!                   backend-independent)
+//! spechash u64      stable hash of the producing RunSpec's debug form
+//! time_ns  u64      checkpoint simulation time
+//! payload  ...      Simulation::save_state byte stream
+//! ```
+//!
+//! The `flags` word exists because the audit and trace features change
+//! the *payload layout* (their counters are serialized only when
+//! compiled in). A snapshot therefore round-trips only between builds
+//! with identical feature sets; mismatches fail loudly with rebuild
+//! instructions rather than desynchronizing mid-stream.
+//!
+//! ## Naming
+//!
+//! Checkpoints land at `{stem}-{spechash:016x}-t{ns}.vsnp` next to the
+//! requested stem, so sweep cells sharing one `--checkpoint-every` flag
+//! never collide, and `--resume` can name either an exact file or the
+//! stem (which resolves to the latest checkpoint for the spec).
+
+use std::path::{Path, PathBuf};
+use vertigo_netsim::Simulation;
+use vertigo_simcore::{
+    EventBackend, SimDuration, SnapError, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION,
+};
+
+/// Default checkpoint stem when `--checkpoint-every` gives only a period.
+pub const DEFAULT_CHECKPOINT_STEM: &str = "checkpoints/ckpt.vsnp";
+
+/// Header flags bit 0: the producing build carried `--features audit`.
+pub const FLAG_AUDIT: u16 = 1 << 0;
+/// Header flags bit 1: the producing build carried `--features trace`.
+pub const FLAG_TRACE: u16 = 1 << 1;
+
+/// The feature flags of *this* build, as stored in snapshot headers.
+pub fn build_flags() -> u16 {
+    let mut f = 0;
+    if vertigo_stats::AUDIT_AVAILABLE {
+        f |= FLAG_AUDIT;
+    }
+    if vertigo_stats::TRACE_AVAILABLE {
+        f |= FLAG_TRACE;
+    }
+    f
+}
+
+/// Renders a flags word as a human-readable feature list.
+pub fn describe_flags(flags: u16) -> String {
+    match (flags & FLAG_AUDIT != 0, flags & FLAG_TRACE != 0) {
+        (false, false) => "no features".into(),
+        (true, false) => "`audit`".into(),
+        (false, true) => "`trace`".into(),
+        (true, true) => "`audit` + `trace`".into(),
+    }
+}
+
+/// Parsed `--checkpoint-every SIMTIME[:PATH]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint period; snapshots are written at every multiple
+    /// strictly below the horizon.
+    pub every: SimDuration,
+    /// Stem path the per-spec file names are derived from.
+    pub stem: PathBuf,
+}
+
+impl CheckpointSpec {
+    /// Parses `SIMTIME[:PATH]`, e.g. `6ms` or `500us:out/ck.vsnp`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (time_s, path_s) = match s.split_once(':') {
+            Some((t, p)) => (t, Some(p)),
+            None => (s, None),
+        };
+        let every = parse_simtime(time_s.trim())?;
+        if every.as_nanos() == 0 {
+            return Err("checkpoint period must be positive".into());
+        }
+        let stem = match path_s {
+            Some(p) if !p.trim().is_empty() => PathBuf::from(p.trim()),
+            _ => PathBuf::from(DEFAULT_CHECKPOINT_STEM),
+        };
+        Ok(CheckpointSpec { every, stem })
+    }
+}
+
+/// Both snapshot-related CLI knobs of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotSpec {
+    /// Periodic checkpointing, if requested.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume source (exact `.vsnp` file or a checkpoint stem), if
+    /// requested. A missing file is not an error: the run starts from
+    /// t = 0 with a stderr notice, so `--resume` is idempotently safe in
+    /// restart loops.
+    pub resume: Option<PathBuf>,
+}
+
+impl SnapshotSpec {
+    /// Whether either knob was given (gates the `snapshot` feature check).
+    pub fn is_active(&self) -> bool {
+        self.checkpoint.is_some() || self.resume.is_some()
+    }
+}
+
+/// Parses a simulated-time literal: a non-negative integer with an
+/// `ns`/`us`/`ms`/`s` suffix (e.g. `6ms`, `500us`, `2s`).
+pub fn parse_simtime(s: &str) -> Result<SimDuration, String> {
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        return Err(format!(
+            "time `{s}`: missing unit (expected ns, us, ms, or s)"
+        ));
+    };
+    let v: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("time `{s}`: bad number `{digits}`"))?;
+    v.checked_mul(mult)
+        .map(SimDuration::from_nanos)
+        .ok_or_else(|| format!("time `{s}` overflows"))
+}
+
+/// A parsed and validated snapshot file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapHeader {
+    /// Producing build's feature flags.
+    pub flags: u16,
+    /// Producing run's event backend (informational).
+    pub backend: EventBackend,
+    /// Stable hash of the producing `RunSpec`.
+    pub spec_hash: u64,
+    /// Simulation time of the checkpoint, in nanoseconds.
+    pub time_ns: u64,
+}
+
+/// Writes the VSNP header for a checkpoint about to be serialized.
+pub fn write_header(w: &mut SnapWriter, backend: EventBackend, spec_hash: u64, time_ns: u64) {
+    w.put_bytes(&SNAP_MAGIC);
+    w.put_u16(SNAP_VERSION);
+    w.put_u16(build_flags());
+    w.put_u8(match backend {
+        EventBackend::Wheel => 0,
+        EventBackend::Heap => 1,
+    });
+    w.put_u64(spec_hash);
+    w.put_u64(time_ns);
+}
+
+/// Reads and validates a VSNP header: magic and version mismatches are
+/// errors here; the caller checks `flags` and `spec_hash` against its own
+/// build and spec (it knows how to phrase those failures actionably).
+pub fn read_header(r: &mut SnapReader<'_>) -> Result<SnapHeader, SnapError> {
+    let magic = r.get_bytes(4)?;
+    if magic != SNAP_MAGIC {
+        return Err(SnapError::new(format!(
+            "not a VSNP snapshot (magic {magic:02x?})"
+        )));
+    }
+    let version = r.get_u16()?;
+    if version != SNAP_VERSION {
+        return Err(SnapError::new(format!(
+            "snapshot format version {version}, this binary reads version {SNAP_VERSION}; \
+             re-create the checkpoint with this binary (or rerun without --resume)"
+        )));
+    }
+    let flags = r.get_u16()?;
+    let backend = match r.get_u8()? {
+        0 => EventBackend::Wheel,
+        1 => EventBackend::Heap,
+        b => return Err(SnapError::new(format!("invalid backend byte {b:#x}"))),
+    };
+    let spec_hash = r.get_u64()?;
+    let time_ns = r.get_u64()?;
+    Ok(SnapHeader {
+        flags,
+        backend,
+        spec_hash,
+        time_ns,
+    })
+}
+
+/// The on-disk name for a checkpoint of the spec with `spec_hash` at
+/// `time_ns`, derived from `stem` (same directory, per-spec file name).
+pub fn snapshot_file(stem: &Path, spec_hash: u64, time_ns: u64) -> PathBuf {
+    let base = stem
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ckpt".to_owned());
+    stem.with_file_name(format!("{base}-{spec_hash:016x}-t{time_ns}.vsnp"))
+}
+
+/// Serializes a checkpoint of `sim` to `snapshot_file(stem, ..)`,
+/// creating parent directories as needed. Returns the path written.
+pub fn write_checkpoint(
+    sim: &mut Simulation,
+    stem: &Path,
+    spec_hash: u64,
+    time_ns: u64,
+    backend: EventBackend,
+) -> PathBuf {
+    let mut w = SnapWriter::new();
+    write_header(&mut w, backend, spec_hash, time_ns);
+    sim.save_state(&mut w);
+    let path = snapshot_file(stem, spec_hash, time_ns);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("creating snapshot dir {}: {e}", parent.display()));
+        }
+    }
+    let bytes = w.into_bytes();
+    std::fs::write(&path, &bytes)
+        .unwrap_or_else(|e| panic!("writing snapshot {}: {e}", path.display()));
+    path
+}
+
+/// Resolves a `--resume` argument for the spec with `spec_hash`:
+///
+/// * an existing file resolves to itself;
+/// * otherwise the argument is treated as a checkpoint stem, and the
+///   highest-`t` checkpoint of this spec next to it (if any) wins;
+/// * `None` means "nothing to resume from" — callers run from t = 0.
+pub fn resolve_resume(arg: &Path, spec_hash: u64) -> Option<PathBuf> {
+    if arg.is_file() {
+        return Some(arg.to_path_buf());
+    }
+    let dir = match arg.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let base = arg
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ckpt".to_owned());
+    let prefix = format!("{base}-{spec_hash:016x}-t");
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(&dir).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(t) = name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".vsnp"))
+            .and_then(|ns| ns.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(bt, _)| t > *bt) {
+            best = Some((t, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_grammar() {
+        assert_eq!(parse_simtime("6ms").unwrap(), SimDuration::from_millis(6));
+        assert_eq!(
+            parse_simtime("500us").unwrap(),
+            SimDuration::from_micros(500)
+        );
+        assert_eq!(
+            parse_simtime("2s").unwrap(),
+            SimDuration::from_nanos(2_000_000_000)
+        );
+        assert_eq!(parse_simtime("42ns").unwrap(), SimDuration::from_nanos(42));
+        assert!(parse_simtime("6").is_err(), "unit required");
+        assert!(parse_simtime("ms").is_err());
+        assert!(parse_simtime("-3ms").is_err());
+    }
+
+    #[test]
+    fn checkpoint_spec_grammar() {
+        let c = CheckpointSpec::parse("6ms").unwrap();
+        assert_eq!(c.every, SimDuration::from_millis(6));
+        assert_eq!(c.stem, PathBuf::from(DEFAULT_CHECKPOINT_STEM));
+        let c = CheckpointSpec::parse("500us:out/ck.vsnp").unwrap();
+        assert_eq!(c.every, SimDuration::from_micros(500));
+        assert_eq!(c.stem, PathBuf::from("out/ck.vsnp"));
+        assert!(CheckpointSpec::parse("0ms").is_err(), "zero period");
+        assert!(CheckpointSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn header_round_trips_and_validates() {
+        let mut w = SnapWriter::new();
+        write_header(&mut w, EventBackend::Heap, 0xDEAD_BEEF, 6_000_000);
+        let bytes = w.into_bytes();
+        let h = read_header(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(h.flags, build_flags());
+        assert_eq!(h.backend, EventBackend::Heap);
+        assert_eq!(h.spec_hash, 0xDEAD_BEEF);
+        assert_eq!(h.time_ns, 6_000_000);
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(read_header(&mut SnapReader::new(&bad)).is_err());
+
+        // Wrong version: the error tells the user what to do.
+        let mut bad = bytes.clone();
+        bad[4] = SNAP_VERSION as u8 + 1;
+        let err = read_header(&mut SnapReader::new(&bad)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn file_naming_and_resolution() {
+        let dir = std::env::temp_dir().join(format!("vertigo-snap-naming-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("ck.vsnp");
+        let hash = 0xABCD_EF01_2345_6789u64;
+        // No files yet: nothing to resume.
+        assert_eq!(resolve_resume(&stem, hash), None);
+        for t in [1_000u64, 9_000, 5_000] {
+            std::fs::write(snapshot_file(&stem, hash, t), b"x").unwrap();
+        }
+        // A foreign spec's checkpoint must not match.
+        std::fs::write(snapshot_file(&stem, hash ^ 1, 99_000), b"x").unwrap();
+        let got = resolve_resume(&stem, hash).expect("latest");
+        assert_eq!(got, snapshot_file(&stem, hash, 9_000));
+        // An exact file path resolves to itself even with a higher-t sibling.
+        let exact = snapshot_file(&stem, hash, 5_000);
+        assert_eq!(resolve_resume(&exact, hash), Some(exact));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -32,6 +32,61 @@ cargo run --release --quiet --example trace_digest > /tmp/vertigo_digest_plain2.
 cargo run --release --quiet --features trace --example trace_digest > /tmp/vertigo_digest_trace.txt
 diff /tmp/vertigo_digest_plain2.txt /tmp/vertigo_digest_trace.txt
 
+echo "==> cargo test --features snapshot -q"
+cargo test --workspace --features snapshot -q
+
+echo "==> resume equivalence: checkpoint+resume digest (both backends, faults active)"
+SNAPDIR=/tmp/vertigo_snapshot_ci
+rm -rf "$SNAPDIR"
+FAULTS='loss:*:0.002@2ms-10ms'
+for ev in wheel heap; do
+  base="$SNAPDIR/$ev"
+  mkdir -p "$base"
+  cargo run --release --quiet --features snapshot -p vertigo-experiments --bin experiments -- \
+    fig5 --quick --events "$ev" --faults "$FAULTS" --out "$base/straight" \
+    | grep -v '^\[csv\]' > "$base/straight.txt"
+  cargo run --release --quiet --features snapshot -p vertigo-experiments --bin experiments -- \
+    fig5 --quick --events "$ev" --faults "$FAULTS" --out "$base/ck" \
+    --checkpoint-every "6ms:$base/snaps/fig5.vsnp" \
+    | grep -v '^\[csv\]' > "$base/ck.txt"
+  # Checkpointing must not perturb the run.
+  diff "$base/straight.txt" "$base/ck.txt"
+  diff -r "$base/straight" "$base/ck"
+  # Resume from the deepest checkpoint (t = 18 ms), then delete it and
+  # resume from t = 12 ms: equivalence at two distinct sim-times.
+  for t in 18000000 12000000; do
+    out="$base/resume_$t"
+    cargo run --release --quiet --features snapshot -p vertigo-experiments --bin experiments -- \
+      fig5 --quick --events "$ev" --faults "$FAULTS" --out "$out" \
+      --resume "$base/snaps/fig5.vsnp" 2> "$out.err" \
+      | grep -v '^\[csv\]' > "$out.txt"
+    grep -q -- "-t$t.vsnp" "$out.err"   # really resumed at this depth
+    diff "$base/straight.txt" "$out.txt"
+    diff -r "$base/straight" "$out"
+    rm -f "$base/snaps/"*"-t$t.vsnp"
+  done
+done
+
+echo "==> resume equivalence under trace: identical .vtrace streams from the resume point on"
+base="$SNAPDIR/traced"
+mkdir -p "$base"
+cargo run --release --quiet --features snapshot,trace -p vertigo-experiments --bin experiments -- \
+  fig5 --quick --faults "$FAULTS" --out "$base/straight" \
+  --trace "$base/tstraight/fig5.vtrace:time=18ms-" \
+  --checkpoint-every "6ms:$base/snaps/fig5.vsnp" \
+  | grep -v '^\[csv\]' > "$base/straight.txt"
+cargo run --release --quiet --features snapshot,trace -p vertigo-experiments --bin experiments -- \
+  fig5 --quick --faults "$FAULTS" --out "$base/resume" \
+  --resume "$base/snaps/fig5.vsnp" \
+  --trace "$base/tresume/fig5.vtrace:time=18ms-" \
+  | grep -v '^\[csv\]' > "$base/resume.txt"
+diff "$base/straight.txt" "$base/resume.txt"
+diff -r "$base/straight" "$base/resume"
+for f in "$base"/tstraight/*.vtrace; do
+  cargo run --release --quiet -p vertigo-experiments --bin vtrace -- \
+    diff "$f" "$base/tresume/$(basename "$f")" > /dev/null
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

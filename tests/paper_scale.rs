@@ -94,6 +94,82 @@ fn full_scale_construction_is_fast() {
     }
 }
 
+/// Kill-at-midpoint/resume end-to-end: a run interrupted halfway (the
+/// simulation object is torn down with only its checkpoint file left, as
+/// a SIGKILL would leave it) and resumed via `--resume` plumbing must
+/// reproduce the straight-through run's report exactly.
+///
+/// Runs at paper scale (320 hosts) when `VERTIGO_TIMING_TESTS=1` — the
+/// same opt-in gate the timing assertions use, since a 320-host run is
+/// too slow for the default suite — and at smoke scale otherwise, so the
+/// e2e path itself is always exercised.
+#[cfg(feature = "snapshot")]
+#[test]
+fn kill_at_midpoint_then_resume_reproduces_straight_run() {
+    use vertigo::simcore::{SimDuration, SimTime};
+    use vertigo::transport::CcKind;
+    use vertigo::workload::snapshot::{self, SnapshotSpec};
+    use vertigo::workload::{
+        BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+    };
+
+    let full = std::env::var_os("VERTIGO_TIMING_TESTS").is_some_and(|v| v == "1");
+    let (hosts_per_leaf, horizon) = if full {
+        (40, SimDuration::from_millis(50))
+    } else {
+        (4, SimDuration::from_millis(10))
+    };
+    let mut spec = RunSpec::new(
+        SystemKind::Vertigo,
+        CcKind::Dctcp,
+        WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.25,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(IncastSpec {
+                qps: 400.0,
+                scale: 8,
+                flow_bytes: 40_000,
+            }),
+        },
+    );
+    spec.topo = TopoKind::LeafSpine { hosts_per_leaf };
+    spec.horizon = horizon;
+
+    let straight = spec.run();
+
+    // "Kill" at the midpoint: drain half the horizon, leave a checkpoint
+    // file behind, and destroy the simulation without finishing it.
+    let dir = std::env::temp_dir().join(format!("vertigo-kill-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let stem = dir.join("ck.vsnp");
+    let mid = horizon.as_nanos() / 2;
+    {
+        let mut sim = spec.build();
+        sim.drain_until(SimTime::ZERO + SimDuration::from_nanos(mid));
+        snapshot::write_checkpoint(&mut sim, &stem, spec.spec_hash(), mid, spec.event_backend);
+        // sim dropped here mid-flight: the checkpoint is all that survives.
+    }
+
+    // Resume through the same entry point the CLI uses (stem resolution
+    // included) and demand an identical report.
+    let resumed = spec.run_with_options(
+        None,
+        Some(&SnapshotSpec {
+            checkpoint: None,
+            resume: Some(stem),
+        }),
+    );
+    assert_eq!(
+        format!("{:?}", straight.report),
+        format!("{:?}", resumed.report),
+        "resumed run diverged from the straight-through run"
+    );
+    assert_eq!(straight.max_port_bytes, resumed.max_port_bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn table1_defaults_are_encoded() {
     // Table 1 of the paper: default incast 4000 QPS / scale 100 / 40 KB on
