@@ -1,0 +1,63 @@
+//! Domain-engine scaling: wall time of the same run at increasing
+//! `--domains` counts, against the classic single-queue engine as the
+//! baseline. On a multi-core box the parallel counts should win once
+//! per-barrier work dominates barrier overhead; on a single core they
+//! measure the engine's synchronization tax. BENCH_PR6.json records the
+//! committed numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vertigo_simcore::SimDuration;
+use vertigo_transport::CcKind;
+use vertigo_workload::{
+    BackgroundSpec, DistKind, IncastSpec, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+};
+
+fn spec() -> RunSpec {
+    let mut spec = RunSpec::new(
+        SystemKind::Vertigo,
+        CcKind::Dctcp,
+        WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.30,
+                dist: DistKind::CacheFollower,
+            }),
+            incast: Some(IncastSpec {
+                qps: 1000.0,
+                scale: 8,
+                flow_bytes: 40_000,
+            }),
+        },
+    );
+    spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 8 };
+    spec.horizon = SimDuration::from_millis(2);
+    spec
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domains");
+    g.sample_size(10);
+    g.bench_function("sim_2ms_classic", |b| {
+        b.iter_batched(
+            || spec().build(),
+            |mut sim| sim.run(),
+            BatchSize::PerIteration,
+        )
+    });
+    for n in [1usize, 2, 4, 8] {
+        g.bench_function(format!("sim_2ms_domains_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut s = spec();
+                    s.domains = Some(n);
+                    s
+                },
+                |s| s.run(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_domains);
+criterion_main!(benches);

@@ -156,12 +156,18 @@ pub struct Opts {
     /// `vertigo_workload::snapshot` for the grammar). Requires a binary
     /// built with `--features snapshot`.
     pub snapshot: SnapshotSpec,
+    /// Domain count for the conservative-parallel engine (`--domains N`,
+    /// N ≥ 1). `None` runs the classic single-queue engine. Results are
+    /// byte-identical for every N — CI diffs `--domains 2` against
+    /// `--domains 1`.
+    pub domains: Option<usize>,
 }
 
 impl Opts {
     /// Parses `[--quick|--full] [--seed N] [--out DIR] [--jobs N]
     /// [--events wheel|heap] [--faults SPEC] [--trace PATH[:filter]]
-    /// [--checkpoint-every SIMTIME[:PATH]] [--resume PATH]` from args.
+    /// [--checkpoint-every SIMTIME[:PATH]] [--resume PATH] [--domains N]`
+    /// from args.
     pub fn parse(args: &[String]) -> Result<Opts, String> {
         let mut scale = Scale::default_scale();
         let mut seed = 1u64;
@@ -171,6 +177,7 @@ impl Opts {
         let mut faults = FaultSchedule::new();
         let mut trace = None;
         let mut snapshot = SnapshotSpec::default();
+        let mut domains = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -215,6 +222,17 @@ impl Opts {
                     snapshot.resume =
                         Some(PathBuf::from(it.next().ok_or("--resume needs a path")?));
                 }
+                "--domains" => {
+                    let n: usize = it
+                        .next()
+                        .ok_or("--domains needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad domains: {e}"))?;
+                    if n == 0 {
+                        return Err("--domains must be at least 1".into());
+                    }
+                    domains = Some(n);
+                }
                 "--jobs" => {
                     jobs = it
                         .next()
@@ -237,6 +255,7 @@ impl Opts {
             faults,
             trace,
             snapshot,
+            domains,
         })
     }
 
@@ -398,6 +417,12 @@ mod tests {
         assert!(Opts::parse(&["--checkpoint-every".into(), "6".into()]).is_err());
         assert!(Opts::parse(&["--checkpoint-every".into()]).is_err());
         assert!(Opts::parse(&["--resume".into()]).is_err());
+        assert!(d.domains.is_none());
+        let dm = Opts::parse(&["--domains".into(), "4".into()]).unwrap();
+        assert_eq!(dm.domains, Some(4));
+        assert!(Opts::parse(&["--domains".into(), "0".into()]).is_err());
+        assert!(Opts::parse(&["--domains".into(), "two".into()]).is_err());
+        assert!(Opts::parse(&["--domains".into()]).is_err());
     }
 
     #[test]

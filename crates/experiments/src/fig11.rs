@@ -44,6 +44,7 @@ pub fn run_a(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.domains = opts.domains;
             spec.faults = opts.faults;
             tweak(&mut spec);
             let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());
@@ -87,6 +88,7 @@ pub fn run_b(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.domains = opts.domains;
             spec.faults = opts.faults;
             spec.vertigo.boost_factor = factor;
             let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());

@@ -55,6 +55,7 @@ pub fn run(opts: &Opts) {
                 spec.horizon = horizon;
                 spec.seed = opts.seed;
                 spec.event_backend = opts.events;
+                spec.domains = opts.domains;
                 spec.faults = opts.faults;
                 spec.vertigo.fw_power = fw;
                 spec.vertigo.defl_power = def;

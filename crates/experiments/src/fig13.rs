@@ -30,6 +30,7 @@ pub fn run(opts: &Opts) {
         spec.horizon = s.horizon;
         spec.seed = opts.seed;
         spec.event_backend = opts.events;
+        spec.domains = opts.domains;
         spec.faults = opts.faults;
         spec.vertigo.tau = SimDuration::from_micros(tau_us);
         let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());

@@ -39,6 +39,7 @@ pub fn run(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.domains = opts.domains;
             spec.faults = opts.faults;
             let trace = opts.trace.clone();
             let snap = opts.snapshot_opts().cloned();

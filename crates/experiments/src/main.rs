@@ -46,7 +46,7 @@ use common::Opts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--quick|--full] [--seed N] [--out DIR] [--jobs N] [--events wheel|heap] [--faults SPEC] [--trace FILE[:filter]] [--checkpoint-every SIMTIME[:PATH]] [--resume PATH]\n\
+        "usage: experiments <id> [--quick|--full] [--seed N] [--out DIR] [--jobs N] [--events wheel|heap] [--faults SPEC] [--trace FILE[:filter]] [--checkpoint-every SIMTIME[:PATH]] [--resume PATH] [--domains N]\n\
          ids: fig1 sec2 fig5 fig6 fig7 table2 fig8 fig9 fig10 fig11a fig11b \
          fig12 table3 fig13 nonbursty ext all"
     );

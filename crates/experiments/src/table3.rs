@@ -36,6 +36,7 @@ pub fn run(opts: &Opts) {
             spec.horizon = s.horizon;
             spec.seed = opts.seed;
             spec.event_backend = opts.events;
+            spec.domains = opts.domains;
             spec.faults = opts.faults;
             spec.vertigo.discipline = disc;
             let out = spec.run_with_options(opts.trace.as_ref(), opts.snapshot_opts());

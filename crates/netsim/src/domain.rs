@@ -1,0 +1,604 @@
+//! The conservative parallel engine: domain-partitioned simulation with
+//! lookahead barriers (`--domains N`).
+//!
+//! [`DomainSimulation`] consumes a freshly built [`Simulation`] and splits
+//! its nodes into `N` domains along the structural zones of
+//! [`Topology::partition`] (per-leaf on a leaf-spine, per-pod on a
+//! fat-tree). Each domain owns a private timing wheel, per-node RNG
+//! streams, and a private [`Recorder`]; domains advance in lockstep
+//! windows bounded by the minimum link propagation delay (the lookahead),
+//! each window on its own thread.
+//!
+//! # Why `--domains N` is byte-identical to `--domains 1`
+//!
+//! Everything a node does depends only on (a) its own state, (b) the
+//! order its wheel pops events, and (c) its private RNG stream. The
+//! engine makes all three independent of the partition:
+//!
+//! * **All wire deliveries** (`Event::Arrive`, same-domain or not) detour
+//!   through per-domain outboxes and a global mailbox, and are injected
+//!   into the target wheels at barriers in canonical
+//!   `(arrival, send time, packet uid)` order — never in thread finish
+//!   order. Self-targeted events (`TxDone`, `HostTimer`) go straight to
+//!   the local wheel, so their tie order against injected arrivals is a
+//!   function of the (partition-independent) barrier grid alone.
+//! * **Barriers land on a fixed grid**: a window starting at the earliest
+//!   pending time `m` ends at `min(grid_ceil(m), horizon, next sample)`
+//!   where the grid quantum is the global minimum propagation delay.
+//!   Window boundaries are a pure function of event times, not of the
+//!   domain count.
+//! * **Randomness is per node** (streams forked off the run seed by node
+//!   id) and **fault draws are content-keyed** (hash of packet uid, time
+//!   and location), so no draw depends on how many domains share a
+//!   thread.
+//!
+//! The per-domain recorders merge commutatively at the end
+//! ([`Recorder::absorb`] + [`Recorder::recompute_queries`]).
+//!
+//! The classic engine (no `--domains` flag) is untouched and remains the
+//! golden-trace / snapshot reference; it orders same-time events by
+//! global insertion order, which is history a parallel engine cannot
+//! reproduce, so the two engines are deliberately *not* byte-compared.
+
+use crate::events::{Ctx, Event, EventSink, Outbox};
+use crate::faults::{FaultAction, FaultState};
+use crate::sim::{Node, Simulation};
+use crate::telemetry::{Telemetry, TelemetryConfig};
+use crate::topology::Topology;
+use std::sync::Arc;
+use vertigo_pkt::pool;
+use vertigo_simcore::{
+    EventQueue, LookaheadGrid, Mailbox, MailboxKey, SimDuration, SimRng, SimTime, WorkerPool,
+};
+use vertigo_stats::{Recorder, Report};
+
+/// RNG stream namespace for per-node streams (`base | node_id`), chosen
+/// not to collide with the fault stream (`0xFA17`) or workload streams.
+const NODE_STREAM_BASE: u64 = 0x4E0D_0000_0000;
+
+/// One partition of the network: a slice of the node arena plus
+/// everything those nodes need to run a window unassisted.
+struct Domain {
+    index: u32,
+    /// Local nodes, densely packed (in ascending global-id order).
+    nodes: Vec<Node>,
+    /// One RNG stream per local node, parallel to `nodes`.
+    rngs: Vec<SimRng>,
+    /// This domain's private event wheel.
+    wheel: EventQueue<Event>,
+    /// Wire deliveries produced this window, collected at the barrier.
+    outbox: Outbox,
+    /// This domain's private metrics (merged into the base at the end).
+    rec: Recorder,
+    /// Shared compiled fault schedule (content-keyed, so `&self` works).
+    faults: Option<Arc<FaultState>>,
+    /// Global node id -> local index within the owning domain.
+    node_local: Arc<Vec<u32>>,
+}
+
+impl Domain {
+    /// Runs this domain's wheel up to and including `limit` — the body of
+    /// one barrier round. Mirrors `Simulation::drain_until`, minus
+    /// telemetry (the coordinator samples at barriers) and tracing
+    /// (rejected up front for domain runs).
+    fn drain_window(&mut self, limit: SimTime) {
+        let Domain {
+            nodes,
+            rngs,
+            wheel,
+            outbox,
+            rec,
+            faults,
+            node_local,
+            ..
+        } = self;
+        while let Some((now, ev)) = wheel.pop_until(limit) {
+            if let Some(fs) = faults.as_deref() {
+                match fs.intercept_keyed(now, &ev) {
+                    FaultAction::Pass => {}
+                    FaultAction::Defer(until) => {
+                        rec.fault_events += 1;
+                        // Self-targeted re-push: the event already lives in
+                        // the right domain, and its deferral round is fixed
+                        // by the (partition-independent) barrier grid.
+                        wheel.push(until.max(now), ev);
+                        continue;
+                    }
+                    FaultAction::Drop(cause) => {
+                        rec.fault_events += 1;
+                        if let Event::Arrive { pkt, .. } = ev {
+                            rec.audit.on_wire_rx();
+                            rec.on_drop(cause, pkt.wire_size);
+                            pool::recycle(pkt);
+                        }
+                        continue;
+                    }
+                }
+            }
+            let local = |id: vertigo_pkt::NodeId| node_local[id.index()] as usize;
+            match ev {
+                Event::Arrive { node, port, pkt } => {
+                    rec.audit.on_wire_rx();
+                    let l = local(node);
+                    let mut ctx = Ctx {
+                        now,
+                        events: EventSink::routed(wheel, outbox),
+                        rec,
+                        rng: &mut rngs[l],
+                    };
+                    match &mut nodes[l] {
+                        Node::Host(h) => h.on_arrive(pkt, &mut ctx),
+                        Node::Switch(s) => s.on_arrive(port, pkt, &mut ctx),
+                    }
+                }
+                Event::TxDone { node, port } => {
+                    let l = local(node);
+                    let mut ctx = Ctx {
+                        now,
+                        events: EventSink::routed(wheel, outbox),
+                        rec,
+                        rng: &mut rngs[l],
+                    };
+                    match &mut nodes[l] {
+                        Node::Host(h) => h.on_tx_done(&mut ctx),
+                        Node::Switch(s) => s.on_tx_done(port, &mut ctx),
+                    }
+                }
+                Event::HostTimer { node } => {
+                    let l = local(node);
+                    let mut ctx = Ctx {
+                        now,
+                        events: EventSink::routed(wheel, outbox),
+                        rec,
+                        rng: &mut rngs[l],
+                    };
+                    match &mut nodes[l] {
+                        Node::Host(h) => h.on_timer(&mut ctx),
+                        Node::Switch(_) => unreachable!("switches have no timers"),
+                    }
+                }
+                Event::FlowStart {
+                    src,
+                    dst,
+                    flow,
+                    query,
+                    bytes,
+                } => {
+                    let l = local(src);
+                    let mut ctx = Ctx {
+                        now,
+                        events: EventSink::routed(wheel, outbox),
+                        rec,
+                        rng: &mut rngs[l],
+                    };
+                    match &mut nodes[l] {
+                        Node::Host(h) => h.start_flow(flow, dst, bytes, query, &mut ctx),
+                        Node::Switch(_) => unreachable!("flows start at hosts"),
+                    }
+                }
+                Event::TelemetrySample => {
+                    unreachable!("the domain engine samples at barriers, not via events")
+                }
+            }
+        }
+    }
+}
+
+/// The domain-partitioned simulation driver. Build one with
+/// [`DomainSimulation::from_sim`] from a *freshly constructed*
+/// [`Simulation`] (workload scheduled, faults installed, telemetry
+/// enabled, nothing run yet), then call [`DomainSimulation::run`].
+pub struct DomainSimulation {
+    topo: Arc<Topology>,
+    domains: Vec<Domain>,
+    grid: LookaheadGrid,
+    mailbox: Mailbox<Event>,
+    horizon: SimDuration,
+    base_rec: Recorder,
+    telemetry: Option<(TelemetryConfig, Telemetry)>,
+    /// Global node id -> owning domain.
+    node_domain: Vec<u16>,
+    barrier_epochs: u64,
+    cross_domain_packets: u64,
+    peak_pending: u64,
+}
+
+impl DomainSimulation {
+    /// Partitions `sim` into `n` domains. Consumes the simulation: node
+    /// state, pending `FlowStart` events, recorder, fault schedule and
+    /// telemetry configuration all move into the domain engine.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, if the topology has a zero-latency link (no
+    /// conservative lookahead exists), if tracing was armed (use the
+    /// classic engine for provenance capture), or if `sim` has already
+    /// run (its queue holds anything but `FlowStart`/`TelemetrySample`).
+    pub fn from_sim(sim: Simulation, n: usize) -> DomainSimulation {
+        assert!(n >= 1, "--domains must be at least 1");
+        assert!(
+            !sim.rec.trace.enabled(),
+            "packet tracing requires the classic engine: drop either --trace or --domains"
+        );
+        let Simulation {
+            topo,
+            nodes,
+            mut events,
+            rng,
+            rec,
+            horizon,
+            telemetry,
+            faults,
+            ..
+        } = sim;
+
+        let quantum = topo.min_prop_delay().as_nanos();
+        assert!(
+            quantum > 0,
+            "--domains requires every link to have a positive propagation \
+             delay (lookahead bound); this topology has a 0 ns link"
+        );
+        let grid = LookaheadGrid::new(quantum);
+
+        let node_domain = topo.partition(n);
+        let mut node_local = vec![0u32; topo.num_nodes()];
+        let mut counts = vec![0u32; n];
+        for (id, &d) in node_domain.iter().enumerate() {
+            node_local[id] = counts[d as usize];
+            counts[d as usize] += 1;
+        }
+        let node_local = Arc::new(node_local);
+        let faults = faults.map(Arc::new);
+        let backend = events.backend();
+
+        let mut domains: Vec<Domain> = (0..n)
+            .map(|i| Domain {
+                index: i as u32,
+                nodes: Vec::with_capacity(counts[i] as usize),
+                rngs: Vec::with_capacity(counts[i] as usize),
+                wheel: EventQueue::with_backend(backend),
+                outbox: Vec::new(),
+                rec: Recorder::new(),
+                faults: faults.clone(),
+                node_local: Arc::clone(&node_local),
+            })
+            .collect();
+        for (id, node) in nodes.into_iter().enumerate() {
+            let d = &mut domains[node_domain[id] as usize];
+            d.nodes.push(node);
+            d.rngs.push(rng.fork(NODE_STREAM_BASE | id as u64));
+        }
+
+        // Distribute the pre-scheduled workload: `FlowStart`s keep their
+        // global pop order within each domain's wheel; telemetry events
+        // are dropped (the coordinator samples at barriers instead).
+        while let Some((at, ev)) = events.pop() {
+            match ev {
+                Event::FlowStart { src, .. } => {
+                    domains[node_domain[src.index()] as usize]
+                        .wheel
+                        .push(at, ev);
+                }
+                Event::TelemetrySample => {}
+                other => panic!(
+                    "--domains requires a freshly built simulation; found a \
+                     pending {other:?} in the queue"
+                ),
+            }
+        }
+
+        DomainSimulation {
+            topo,
+            domains,
+            grid,
+            mailbox: Mailbox::new(),
+            horizon,
+            base_rec: rec,
+            telemetry,
+            node_domain,
+            barrier_epochs: 0,
+            cross_domain_packets: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Runs the barrier loop to the horizon and returns the report.
+    pub fn run(&mut self) -> Report {
+        let horizon = SimTime::ZERO + self.horizon;
+        let n = self.domains.len();
+        // N = 1 runs windows inline; N >= 2 keeps one worker thread per
+        // domain alive for the whole run (windows are short and numerous).
+        let mut pool: Option<WorkerPool<Domain>> = (n >= 2)
+            .then(|| WorkerPool::new(n, |d: &mut Domain, limit: SimTime| d.drain_window(limit)));
+        let mut next_sample = self
+            .telemetry
+            .as_ref()
+            .map(|(cfg, _)| SimTime::ZERO + cfg.interval)
+            .filter(|&s| s <= horizon);
+        let mut prev_limit = SimTime::ZERO;
+
+        loop {
+            // (1) Collect every delivery produced last window into the
+            // canonical mailbox. Domain order here is irrelevant: the
+            // mailbox sorts by (arrival, send time, uid).
+            for d in &mut self.domains {
+                let idx = d.index;
+                for e in d.outbox.drain(..) {
+                    self.mailbox.push(
+                        MailboxKey {
+                            at: e.at,
+                            sent: e.sent,
+                            key: e.uid,
+                        },
+                        e.ev,
+                        idx,
+                    );
+                }
+            }
+
+            // (2) Global scheduler pressure (wheels + mailbox) peaks at
+            // barriers; this is the domain analogue of the classic
+            // queue's high-water mark and is domain-count-invariant.
+            let pending: u64 = self
+                .domains
+                .iter()
+                .map(|d| d.wheel.len() as u64)
+                .sum::<u64>()
+                + self.mailbox.len() as u64;
+            self.peak_pending = self.peak_pending.max(pending);
+
+            // (3) Fire any telemetry sample the last window landed on
+            // (windows are capped at the next sample time, so the barrier
+            // sits exactly on it).
+            while let Some(s) = next_sample {
+                if s > prev_limit {
+                    break;
+                }
+                self.sample_telemetry(s, pending);
+                #[cfg(feature = "audit")]
+                self.audit_conservation("telemetry sample");
+                let interval = self
+                    .telemetry
+                    .as_ref()
+                    .expect("sampling implies telemetry")
+                    .0
+                    .interval;
+                next_sample = Some(s + interval).filter(|&t| t <= horizon);
+            }
+
+            // (4) Earliest pending work anywhere; the sampling train keeps
+            // the loop alive through quiet stretches, like the classic
+            // engine's TelemetrySample events.
+            let mut m = self
+                .domains
+                .iter()
+                .filter_map(|d| d.wheel.peek_time())
+                .min();
+            if let Some(t) = self.mailbox.min_time() {
+                m = Some(m.map_or(t, |u| u.min(t)));
+            }
+            if let Some(s) = next_sample {
+                m = Some(m.map_or(s, |u| u.min(s)));
+            }
+            let Some(m) = m.filter(|&t| t <= horizon) else {
+                break; // quiescent (or only post-horizon events remain)
+            };
+
+            // (5) Conservative window: from the earliest pending time to
+            // the next grid point — at most one lookahead quantum, so
+            // nothing sent inside the window lands inside it.
+            let mut end = self.grid.ceil_after(m).min(horizon);
+            if let Some(s) = next_sample {
+                end = end.min(s);
+            }
+
+            // (6) Inject every delivery landing in the window, in
+            // canonical order, counting boundary crossings.
+            for (key, ev, src) in self.mailbox.drain_until(end) {
+                let dst = match &ev {
+                    Event::Arrive { node, .. } => self.node_domain[node.index()] as usize,
+                    other => unreachable!("only Arrive routes through the mailbox: {other:?}"),
+                };
+                if src as usize != dst {
+                    self.cross_domain_packets += 1;
+                }
+                // Custody transfer: the sender's domain counted the tx;
+                // hand the in-flight packet to the receiver's tally so
+                // neither side underflows.
+                #[cfg(feature = "audit")]
+                {
+                    self.domains[src as usize].rec.audit.on_wire_rx();
+                    self.domains[dst].rec.audit.on_wire_tx();
+                }
+                self.domains[dst].wheel.push(key.at, ev);
+            }
+
+            // (7) One lockstep round.
+            match pool.as_mut() {
+                Some(p) => {
+                    let states = std::mem::take(&mut self.domains);
+                    self.domains = p.round(states, end);
+                }
+                None => self.domains[0].drain_window(end),
+            }
+
+            prev_limit = end;
+            self.barrier_epochs += 1;
+        }
+
+        self.finalize(horizon)
+    }
+
+    /// Collects one telemetry sample at time `s` (called at a barrier
+    /// that landed exactly on the sample time).
+    fn sample_telemetry(&mut self, s: SimTime, pending: u64) {
+        let mut queued = 0u64;
+        let mut max_port = 0u64;
+        let mut deflections = 0u64;
+        let mut drops = 0u64;
+        let mut ecn = 0u64;
+        let mut per_domain = Vec::with_capacity(self.domains.len());
+        for d in &self.domains {
+            for node in &d.nodes {
+                if let Node::Switch(sw) = node {
+                    queued += sw.queued_bytes();
+                    max_port = max_port.max(sw.busiest_port_bytes());
+                }
+            }
+            deflections += d.rec.deflections;
+            drops += d.rec.total_drops();
+            ecn += d.rec.ecn_marks;
+            per_domain.push(d.wheel.len() as u64);
+        }
+        deflections += self.base_rec.deflections;
+        drops += self.base_rec.total_drops();
+        ecn += self.base_rec.ecn_marks;
+        if let Some((_, tel)) = self.telemetry.as_mut() {
+            tel.record_with_domains(
+                s,
+                queued,
+                max_port,
+                deflections,
+                drops,
+                ecn,
+                pending,
+                per_domain,
+            );
+        }
+    }
+
+    /// Global conservation check over summed per-domain tallies. The
+    /// scratch recorder is discarded; the successful check is counted on
+    /// the base recorder so `audit_checks` matches the classic cadence
+    /// (one per sample plus the teardown checks).
+    #[cfg(feature = "audit")]
+    fn audit_conservation(&mut self, where_: &str) {
+        let mut scratch = Recorder::new();
+        let mut nic_queued = 0u64;
+        let mut switch_queued = 0u64;
+        scratch.audit.absorb(&self.base_rec.audit);
+        for (d, b) in scratch.drops.iter_mut().zip(&self.base_rec.drops) {
+            *d += b;
+        }
+        for dom in &self.domains {
+            scratch.audit.absorb(&dom.rec.audit);
+            for (d, b) in scratch.drops.iter_mut().zip(&dom.rec.drops) {
+                *d += b;
+            }
+            for node in &dom.nodes {
+                match node {
+                    Node::Host(h) => nic_queued += h.nic_queued_pkts(),
+                    Node::Switch(s) => switch_queued += s.queued_pkts(),
+                }
+            }
+        }
+        crate::audit::check_conservation(&mut scratch, nic_queued, switch_queued, where_);
+        self.base_rec.audit.on_check();
+    }
+
+    /// Merges domain recorders into the base, closes the books, and
+    /// builds the report.
+    fn finalize(&mut self, horizon: SimTime) -> Report {
+        for d in &mut self.domains {
+            for node in &d.nodes {
+                if let Node::Host(h) = node {
+                    let s = h.stats();
+                    d.rec.retransmits += s.retransmits;
+                    d.rec.rtos += s.rtos;
+                }
+            }
+        }
+        let mut rec = std::mem::take(&mut self.base_rec);
+        for d in &mut self.domains {
+            rec.absorb(std::mem::take(&mut d.rec));
+        }
+        rec.recompute_queries();
+        #[cfg(feature = "audit")]
+        {
+            let mut nic_queued = 0u64;
+            let mut switch_queued = 0u64;
+            for dom in &self.domains {
+                for node in &dom.nodes {
+                    match node {
+                        Node::Host(h) => nic_queued += h.nic_queued_pkts(),
+                        Node::Switch(s) => switch_queued += s.queued_pkts(),
+                    }
+                }
+            }
+            // In-flight custody at the horizon = wheel arrivals + mailbox
+            // + outboxes, all already summed into the merged `wire` tally.
+            crate::audit::check_conservation(&mut rec, nic_queued, switch_queued, "end of run");
+            crate::audit::check_flow_accounting(&mut rec);
+        }
+        let mut report = Report::from_recorder(&rec, horizon);
+        report.events_scheduled = self.domains.iter().map(|d| d.wheel.scheduled_total()).sum();
+        report.peak_pending_events = self.peak_pending;
+        report.domains = self.domains.len() as u64;
+        report.barrier_epochs = self.barrier_epochs;
+        report.cross_domain_packets = self.cross_domain_packets;
+        report.domain_peak_pending = self
+            .domains
+            .iter()
+            .map(|d| d.wheel.peak_pending() as u64)
+            .collect();
+        self.base_rec = rec;
+        report
+    }
+
+    /// The built topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The collected telemetry time series, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref().map(|(_, t)| t)
+    }
+
+    /// High-water mark of single-port queue occupancy across switches.
+    pub fn max_port_bytes(&self) -> u64 {
+        self.domains
+            .iter()
+            .flat_map(|d| d.nodes.iter())
+            .filter_map(|n| match n {
+                Node::Switch(s) => Some(s.max_port_bytes),
+                Node::Host(_) => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregated ordering-shim counters across hosts.
+    pub fn ordering_stats(&self) -> vertigo_core::OrderingStats {
+        let mut total = vertigo_core::OrderingStats::default();
+        for n in self.domains.iter().flat_map(|d| d.nodes.iter()) {
+            if let Node::Host(h) = n {
+                if let Some(s) = h.ordering_stats() {
+                    total.in_order += s.in_order;
+                    total.buffered += s.buffered;
+                    total.gap_filled += s.gap_filled;
+                    total.timeout_released += s.timeout_released;
+                    total.timeouts += s.timeouts;
+                    total.late_or_dup += s.late_or_dup;
+                    total.dup_dropped += s.dup_dropped;
+                    total.max_depth = total.max_depth.max(s.max_depth);
+                }
+            }
+        }
+        total
+    }
+
+    /// Aggregated marking-component counters across hosts.
+    pub fn marking_stats(&self) -> vertigo_core::MarkingStats {
+        let mut total = vertigo_core::MarkingStats::default();
+        for n in self.domains.iter().flat_map(|d| d.nodes.iter()) {
+            if let Node::Host(h) = n {
+                if let Some(s) = h.marking_stats() {
+                    total.marked += s.marked;
+                    total.retransmissions += s.retransmissions;
+                    total.filter_overflows += s.filter_overflows;
+                }
+            }
+        }
+        total
+    }
+}

@@ -110,6 +110,94 @@ impl Snapshot for Event {
     }
 }
 
+/// One wire delivery captured for cross-domain exchange: the scheduled
+/// arrival, the send time, and the packet's globally unique id (the
+/// canonical merge tie-breaker — content-derived, partition-independent).
+#[derive(Debug)]
+pub struct OutEntry {
+    /// When the packet lands.
+    pub at: SimTime,
+    /// When it was transmitted.
+    pub sent: SimTime,
+    /// The packet's unique id (`Packet::uid`).
+    pub uid: u64,
+    /// The buffered `Event::Arrive`.
+    pub ev: Event,
+}
+
+/// Buffered wire deliveries produced by one domain during one window.
+pub type Outbox = Vec<OutEntry>;
+
+/// Where scheduled events go: straight into the local queue (classic
+/// single-queue engine), or — in the domain-partitioned engine — wire
+/// deliveries (`Event::Arrive`) detour through an outbox so the barrier
+/// can merge them in canonical order, while self-targeted events
+/// (`TxDone`, `HostTimer`) stay local.
+pub struct EventSink<'a> {
+    queue: &'a mut EventQueue<Event>,
+    outbox: Option<&'a mut Outbox>,
+}
+
+impl<'a> EventSink<'a> {
+    /// A sink that pushes everything into `queue` (classic engine).
+    pub fn direct(queue: &'a mut EventQueue<Event>) -> Self {
+        EventSink {
+            queue,
+            outbox: None,
+        }
+    }
+
+    /// A sink that detours `Arrive` events into `outbox` (domain engine).
+    pub(crate) fn routed(queue: &'a mut EventQueue<Event>, outbox: &'a mut Outbox) -> Self {
+        EventSink {
+            queue,
+            outbox: Some(outbox),
+        }
+    }
+
+    /// Current queue time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, ev: Event) {
+        match (&mut self.outbox, &ev) {
+            (Some(outbox), Event::Arrive { pkt, .. }) => {
+                let uid = pkt.uid;
+                outbox.push(OutEntry {
+                    at,
+                    sent: self.queue.now(),
+                    uid,
+                    ev,
+                });
+            }
+            _ => self.queue.push(at, ev),
+        }
+    }
+
+    /// Schedules `ev` at `now + delay`.
+    #[inline]
+    pub fn push_after(&mut self, delay: vertigo_simcore::SimDuration, ev: Event) {
+        let at = self.queue.now() + delay;
+        self.push(at, ev);
+    }
+
+    /// Pending events in the underlying local queue.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if the underlying local queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
 /// Mutable simulation context handed to node event handlers. Handlers may
 /// schedule follow-up events, record metrics, and draw randomness — but
 /// cannot touch other nodes (all inter-node interaction flows through
@@ -117,10 +205,11 @@ impl Snapshot for Event {
 pub struct Ctx<'a> {
     /// Current simulation time.
     pub now: SimTime,
-    /// The event queue, for scheduling follow-ups.
-    pub events: &'a mut EventQueue<Event>,
+    /// The event sink, for scheduling follow-ups.
+    pub events: EventSink<'a>,
     /// The metrics sink.
     pub rec: &'a mut Recorder,
-    /// The run's random stream.
+    /// The node's random stream (per-node in the domain engine; the
+    /// run-global stream in the classic engine).
     pub rng: &'a mut SimRng,
 }

@@ -48,7 +48,7 @@
 use crate::events::Event;
 use crate::topology::Topology;
 use std::collections::BTreeMap;
-use vertigo_pkt::NodeId;
+use vertigo_pkt::{mix64, NodeId};
 use vertigo_simcore::{SimRng, SimTime};
 use vertigo_stats::DropCause;
 
@@ -488,6 +488,88 @@ impl FaultState {
             },
             Event::TelemetrySample => FaultAction::Pass,
         }
+    }
+
+    /// Content-keyed variant of [`FaultState::intercept`] for the domain
+    /// engine. Two differences, both forced by parallelism:
+    ///
+    /// * `&self` — every domain shares one compiled schedule behind an
+    ///   `Arc`, so interception cannot mutate;
+    /// * loss/corruption draws hash the *packet* (seed, uid, arrival time,
+    ///   rx location, window index) instead of advancing a sequential RNG
+    ///   stream. The verdict for a given packet traversal is therefore
+    ///   identical for any domain count — sequential draw order would be
+    ///   partition-dependent.
+    ///
+    /// Deterministic faults (down / blackhole / freeze) share the exact
+    /// window logic with the classic path.
+    pub(crate) fn intercept_keyed(&self, now: SimTime, ev: &Event) -> FaultAction {
+        match *ev {
+            Event::Arrive {
+                node,
+                port,
+                ref pkt,
+            } => {
+                if let Some(until) = self.frozen_until(now, node) {
+                    return FaultAction::Defer(until);
+                }
+                if self.blackholed(now, node) {
+                    return FaultAction::Drop(DropCause::Blackhole);
+                }
+                if let Some(ws) = self.link.get(&(node.0, port.0)) {
+                    for (i, c) in ws.iter().enumerate() {
+                        if !c.active(now) {
+                            continue;
+                        }
+                        match c.kind {
+                            LinkFault::Down => return FaultAction::Drop(DropCause::LinkDown),
+                            LinkFault::Loss(p) => {
+                                if self.keyed_chance(p, pkt.uid, now, node, port.0, i) {
+                                    return FaultAction::Drop(DropCause::LinkLoss);
+                                }
+                            }
+                            LinkFault::Corrupt(p) => {
+                                if self.keyed_chance(p, pkt.uid, now, node, port.0, i) {
+                                    return FaultAction::Drop(DropCause::LinkCorrupt);
+                                }
+                            }
+                        }
+                    }
+                }
+                FaultAction::Pass
+            }
+            Event::TxDone { node, .. } | Event::HostTimer { node } => {
+                match self.frozen_until(now, node) {
+                    Some(until) => FaultAction::Defer(until),
+                    None => FaultAction::Pass,
+                }
+            }
+            Event::FlowStart { src, .. } => match self.frozen_until(now, src) {
+                Some(until) => FaultAction::Defer(until),
+                None => FaultAction::Pass,
+            },
+            Event::TelemetrySample => FaultAction::Pass,
+        }
+    }
+
+    /// A Bernoulli(p) draw keyed on packet content and fault location
+    /// rather than stream position. Same uniform construction as
+    /// [`SimRng::uniform`] (top 53 bits of a mixed 64-bit word); the
+    /// window index keeps co-located Loss and Corrupt windows
+    /// independent.
+    fn keyed_chance(
+        &self,
+        p: f64,
+        uid: u64,
+        now: SimTime,
+        node: NodeId,
+        port: u16,
+        w: usize,
+    ) -> bool {
+        let mut h = mix64(self.rng.seed() ^ mix64(uid));
+        h = mix64(h ^ now.as_nanos());
+        h = mix64(h ^ (((node.0 as u64) << 24) | ((port as u64) << 8) | w as u64));
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 }
 

@@ -17,7 +17,7 @@
 use crate::events::{Ctx, Event};
 use crate::link::LinkParams;
 use crate::trace::deliver_reason_code;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use vertigo_core::boost::unboost;
 use vertigo_core::{Delivered, MarkingComponent, MarkingConfig, OrderingComponent, OrderingConfig};
 use vertigo_pkt::{pool, FlowId, NodeId, Packet, PacketKind, PortId, QueryId};
@@ -57,6 +57,93 @@ impl HostConfig {
             ordering: Some(OrderingConfig::default()),
             nic_buffer_bytes: 2 * 1024 * 1024,
         }
+    }
+}
+
+/// Per-flow host state as sorted parallel arrays (structure-of-arrays,
+/// the same layout trick the PIEO queue uses): flow ids in one dense
+/// sorted `Vec`, values in another, joined by index. Lookups are a
+/// binary search over a contiguous id array — one cache line covers 8
+/// flows — instead of a pointer chase per BTreeMap node, and iteration
+/// walks the value array linearly. Every traversal (`keys`, `values`,
+/// `iter`) is in ascending-id order, exactly like the `BTreeMap` this
+/// replaces, so pump order, timer order, and snapshot bytes are
+/// unchanged.
+struct FlowTable<T> {
+    ids: Vec<FlowId>,
+    vals: Vec<T>,
+}
+
+impl<T> FlowTable<T> {
+    fn new() -> Self {
+        FlowTable {
+            ids: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, flow: FlowId, val: T) {
+        match self.ids.binary_search(&flow) {
+            Ok(i) => self.vals[i] = val,
+            Err(i) => {
+                self.ids.insert(i, flow);
+                self.vals.insert(i, val);
+            }
+        }
+    }
+
+    fn get_mut(&mut self, flow: FlowId) -> Option<&mut T> {
+        match self.ids.binary_search(&flow) {
+            Ok(i) => Some(&mut self.vals[i]),
+            Err(_) => None,
+        }
+    }
+
+    fn remove(&mut self, flow: FlowId) -> Option<T> {
+        match self.ids.binary_search(&flow) {
+            Ok(i) => {
+                self.ids.remove(i);
+                Some(self.vals.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn get_or_insert_with(&mut self, flow: FlowId, make: impl FnOnce() -> T) -> &mut T {
+        let i = match self.ids.binary_search(&flow) {
+            Ok(i) => i,
+            Err(i) => {
+                self.ids.insert(i, flow);
+                self.vals.insert(i, make());
+                i
+            }
+        };
+        &mut self.vals[i]
+    }
+
+    fn keys(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    fn values(&self) -> std::slice::Iter<'_, T> {
+        self.vals.iter()
+    }
+
+    fn values_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.vals.iter_mut()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (FlowId, &T)> {
+        self.ids.iter().copied().zip(self.vals.iter())
+    }
+
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.vals.clear();
     }
 }
 
@@ -103,8 +190,8 @@ pub struct Host {
     nic_bytes: u64,
     nic_busy: bool,
 
-    senders: BTreeMap<FlowId, SendState>,
-    receivers: BTreeMap<FlowId, RecvState>,
+    senders: FlowTable<SendState>,
+    receivers: FlowTable<RecvState>,
     marking: Option<MarkingComponent>,
     ordering: Option<OrderingComponent<Box<Packet>>>,
 
@@ -137,8 +224,8 @@ impl Host {
             nic_q: VecDeque::new(),
             nic_bytes: 0,
             nic_busy: false,
-            senders: BTreeMap::new(),
-            receivers: BTreeMap::new(),
+            senders: FlowTable::new(),
+            receivers: FlowTable::new(),
             marking,
             ordering,
             wake_scheduled: None,
@@ -293,7 +380,7 @@ impl Host {
                 }
             }
             PacketKind::Ack(ack) => {
-                let done = if let Some(st) = self.senders.get_mut(&pkt.flow) {
+                let done = if let Some(st) = self.senders.get_mut(pkt.flow) {
                     let outcome = st.sender.on_ack(ctx.now, &ack);
                     outcome.completed
                 } else {
@@ -301,7 +388,7 @@ impl Host {
                 };
                 if done {
                     // Bank the finished sender's stats and free its state.
-                    if let Some(st) = self.senders.remove(&pkt.flow) {
+                    if let Some(st) = self.senders.remove(pkt.flow) {
                         let x = st.sender.stats();
                         self.stats.segments_sent += x.segments_sent;
                         self.stats.retransmits += x.retransmits;
@@ -324,7 +411,7 @@ impl Host {
     fn on_trim_notice(&mut self, pkt: Box<Packet>, ctx: &mut Ctx) {
         let seg = *pkt.data_seg().expect("data packet");
         let flow = pkt.flow;
-        let st = self.receivers.entry(flow).or_insert_with(|| RecvState {
+        let st = self.receivers.get_or_insert_with(flow, || RecvState {
             recv: FlowReceiver::new(flow, seg.flow_bytes),
             src: pkt.src,
             query: pkt.query,
@@ -348,7 +435,7 @@ impl Host {
         let flow = pkt.flow;
         ctx.rec.data_delivered += 1;
         ctx.rec.hops_delivered += pkt.hops as u64;
-        let st = self.receivers.entry(flow).or_insert_with(|| RecvState {
+        let st = self.receivers.get_or_insert_with(flow, || RecvState {
             recv: FlowReceiver::new(flow, seg.flow_bytes),
             src: pkt.src,
             query: pkt.query,
@@ -430,13 +517,13 @@ impl Host {
             + vertigo_pkt::FLOWINFO_OVERHEAD_BYTES) as u64;
         let mut flows = std::mem::take(&mut self.flow_scratch);
         flows.clear();
-        flows.extend(self.senders.keys().copied());
+        flows.extend(self.senders.keys());
         'outer: for &flow in &flows {
             loop {
                 if self.nic_bytes + mss_wire > self.cfg.nic_buffer_bytes {
                     break 'outer; // NIC full: stop generating
                 }
-                let st = self.senders.get_mut(&flow).expect("present");
+                let st = self.senders.get_mut(flow).expect("present");
                 let Some(seg) = st.sender.poll_segment(ctx.now) else {
                     break;
                 };
@@ -558,14 +645,14 @@ impl Host {
         w.put_u64(self.nic_bytes);
         w.put_bool(self.nic_busy);
         w.put_usize(self.senders.len());
-        for (flow, st) in &self.senders {
+        for (flow, st) in self.senders.iter() {
             flow.save(w);
             st.dst.save(w);
             st.query.save(w);
             st.sender.snap_save(w);
         }
         w.put_usize(self.receivers.len());
-        for (flow, st) in &self.receivers {
+        for (flow, st) in self.receivers.iter() {
             flow.save(w);
             st.src.save(w);
             st.query.save(w);

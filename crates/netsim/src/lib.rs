@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod domain;
 pub mod events;
 pub mod faults;
 pub mod host;
@@ -27,7 +28,8 @@ pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
-pub use events::{Ctx, Event};
+pub use domain::DomainSimulation;
+pub use events::{Ctx, Event, EventSink};
 pub use faults::{FaultKind, FaultSchedule, FaultTarget, FaultWindow, MAX_FAULTS};
 pub use host::{Host, HostConfig, HostStats};
 pub use link::LinkParams;

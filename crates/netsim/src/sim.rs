@@ -2,7 +2,7 @@
 //! flow/query schedules from the workload layer, runs the event loop to a
 //! horizon, and produces a [`Report`].
 
-use crate::events::{Ctx, Event};
+use crate::events::{Ctx, Event, EventSink};
 use crate::faults::{FaultAction, FaultSchedule, FaultState};
 use crate::host::{Host, HostConfig};
 use crate::link::LinkParams;
@@ -108,23 +108,23 @@ pub struct SimConfig {
 // size difference costs is trivial, while boxing the large variant would put
 // a pointer chase on the per-event dispatch path.
 #[allow(clippy::large_enum_variant)]
-enum Node {
+pub(crate) enum Node {
     Host(Host),
     Switch(Switch),
 }
 
 /// A runnable simulation instance.
 pub struct Simulation {
-    topo: Arc<Topology>,
-    nodes: Vec<Node>,
-    events: EventQueue<Event>,
-    rng: SimRng,
-    rec: Recorder,
-    horizon: SimDuration,
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) rng: SimRng,
+    pub(crate) rec: Recorder,
+    pub(crate) horizon: SimDuration,
     next_flow: u64,
     next_query: u64,
-    telemetry: Option<(TelemetryConfig, Telemetry)>,
-    faults: Option<FaultState>,
+    pub(crate) telemetry: Option<(TelemetryConfig, Telemetry)>,
+    pub(crate) faults: Option<FaultState>,
 }
 
 impl Simulation {
@@ -390,7 +390,7 @@ impl Simulation {
             }
             let mut ctx = Ctx {
                 now,
-                events,
+                events: EventSink::direct(events),
                 rec,
                 rng,
             };
@@ -618,7 +618,7 @@ impl Simulation {
 /// Gathers live queue occupancy from every node and runs the
 /// conservation check (see `crate::audit`).
 #[cfg(feature = "audit")]
-fn audit_conservation(nodes: &[Node], rec: &mut Recorder, where_: &str) {
+pub(crate) fn audit_conservation(nodes: &[Node], rec: &mut Recorder, where_: &str) {
     let mut nic_queued = 0u64;
     let mut switch_queued = 0u64;
     for n in nodes {

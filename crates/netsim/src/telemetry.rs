@@ -45,6 +45,15 @@ pub struct TelemetrySample {
 pub struct Telemetry {
     /// Samples in time order.
     pub samples: Vec<TelemetrySample>,
+    /// Parallel to `samples`: the per-domain breakdown of
+    /// `pending_events` when the domain engine collected the sample
+    /// (`domain_pending[i][d]` = events pending in domain `d`'s wheel at
+    /// sample `i`; the cross-domain mailbox accounts for the remainder).
+    /// Empty for classic single-queue runs. Kept out of
+    /// [`TelemetrySample`] so the sample stays `Copy` and the snapshot
+    /// format is untouched — snapshots and domains are mutually
+    /// exclusive anyway.
+    pub domain_pending: Vec<Vec<u64>>,
     last_deflections: u64,
     last_drops: u64,
     last_ecn: u64,
@@ -81,6 +90,32 @@ impl Telemetry {
         self.last_deflections = deflections_cum;
         self.last_drops = drops_cum;
         self.last_ecn = ecn_cum;
+    }
+
+    /// [`Telemetry::record`] plus the domain engine's per-wheel pending
+    /// breakdown for this sample.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_domains(
+        &mut self,
+        at: SimTime,
+        queued_bytes: u64,
+        max_port_bytes: u64,
+        deflections_cum: u64,
+        drops_cum: u64,
+        ecn_cum: u64,
+        pending_events: u64,
+        per_domain: Vec<u64>,
+    ) {
+        self.record(
+            at,
+            queued_bytes,
+            max_port_bytes,
+            deflections_cum,
+            drops_cum,
+            ecn_cum,
+            pending_events,
+        );
+        self.domain_pending.push(per_domain);
     }
 
     /// Serializes the collected series and the delta cursors.

@@ -2,21 +2,31 @@
 //!
 //! Node numbering: hosts occupy ids `0..hosts`, switches `hosts..hosts+switches`.
 //! Ports are the index into a node's adjacency list. Two builders cover the
-//! paper's evaluation:
+//! paper's evaluation and beyond:
 //!
 //! * [`Topology::leaf_spine`] — the two-tier topology of §4.1 (paper scale:
 //!   4 spines ("cores"), 8 leaves ("aggregates"), 40 hosts per leaf, 10 Gbps
-//!   host links, 40 Gbps fabric links);
-//! * [`Topology::fat_tree`] — the k-ary fat-tree of Fig. 7 (k=8: 128 hosts,
-//!   80 switches, 10 Gbps everywhere).
+//!   host links, 40 Gbps fabric links); arbitrary spine/leaf/host counts.
+//! * [`Topology::fat_tree`] — a k-ary fat-tree for **any even k ≥ 2**:
+//!   `k³/4` hosts, `k²` pod switches plus `(k/2)²` cores. The paper's Fig. 7
+//!   uses k=8 (128 hosts, 80 switches); k=16 (1024 hosts) and k=32
+//!   (8192 hosts) build from the same code. Host ids fill pod by pod:
+//!   host `h` lives in pod `h / (k/2)²` under edge switch
+//!   `(h mod (k/2)²) / (k/2)`; switch ids are edges+aggs pod-major
+//!   (`hosts + p*k + …`), cores last (`hosts + k² + c`).
 //!
 //! Routing tables are computed by per-destination BFS over the switch
 //! graph, so **every** switch has a next-hop set toward **every** host —
 //! a deflected packet that lands off the shortest path is simply routed
 //! onward from wherever it is, which is exactly what deflection needs.
+//!
+//! [`Topology::partition`] derives the domain decomposition used by the
+//! parallel engine (`--domains N`): structural zones (per-leaf, per-pod,
+//! one per top-tier switch) assigned round-robin to domains.
 
 use crate::link::LinkParams;
 use vertigo_pkt::{NodeId, PortId};
+use vertigo_simcore::SimDuration;
 
 /// Flattened per-switch routing: the candidate output ports for every
 /// `(switch, destination host)` pair, CSR-style.
@@ -269,6 +279,111 @@ impl Topology {
         t
     }
 
+    /// Minimum one-way propagation delay over all links — the lookahead
+    /// bound of the conservative parallel engine: no packet can cross
+    /// from one node to another (and in particular from one domain to
+    /// another) in less simulated time than this.
+    pub fn min_prop_delay(&self) -> SimDuration {
+        self.adj
+            .iter()
+            .flat_map(|ports| ports.iter().map(|&(_, l)| l.prop_delay))
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Partitions the topology into `n` domains for the parallel engine,
+    /// returning the domain of every node (indexed by node id).
+    ///
+    /// The rule is structural, so it needs no knowledge of which builder
+    /// made the topology. Switches are layered by BFS depth from the
+    /// hosts; removing the top layer splits the switch graph into
+    /// *zones* — per-leaf groups on a leaf-spine (spines are the top
+    /// layer), per-pod groups on a fat-tree (cores are the top layer).
+    /// Each removed top-layer switch forms its own zone, hosts join their
+    /// access switch's zone, and zones are dealt round-robin to domains.
+    ///
+    /// Which domain a node lands in affects only load balance, never
+    /// results: the engine's cross-domain merge order is canonical.
+    pub fn partition(&self, n: usize) -> Vec<u16> {
+        assert!(
+            n >= 1 && n <= u16::MAX as usize,
+            "domain count out of range"
+        );
+        let nn = self.num_nodes();
+        // Layer switches by BFS depth from the hosts' access switches.
+        let mut depth = vec![u32::MAX; nn];
+        let mut q = std::collections::VecDeque::new();
+        for h in 0..self.hosts {
+            let s = self.access_switch(NodeId(h as u32));
+            if depth[s.index()] == u32::MAX {
+                depth[s.index()] = 1;
+                q.push_back(s);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in &self.adj[u.index()] {
+                if !self.is_host(v) && depth[v.index()] == u32::MAX {
+                    depth[v.index()] = depth[u.index()] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        let top = (self.hosts..nn)
+            .filter_map(|s| (depth[s] != u32::MAX).then_some(depth[s]))
+            .max()
+            .unwrap_or(1);
+        // With a single layer there is nothing to cut; keep every switch.
+        let cut = if top > 1 { top } else { u32::MAX };
+
+        // Zones = connected components of the switch graph below the cut,
+        // enumerated in node-id order for determinism.
+        let mut zone = vec![u16::MAX; nn];
+        let mut zones: u16 = 0;
+        for s in self.hosts..nn {
+            if depth[s] == u32::MAX || depth[s] >= cut || zone[s] != u16::MAX {
+                continue;
+            }
+            zone[s] = zones;
+            q.push_back(NodeId(s as u32));
+            while let Some(u) = q.pop_front() {
+                for &(v, _) in &self.adj[u.index()] {
+                    let vi = v.index();
+                    if !self.is_host(v)
+                        && depth[vi] != u32::MAX
+                        && depth[vi] < cut
+                        && zone[vi] == u16::MAX
+                    {
+                        zone[vi] = zones;
+                        q.push_back(v);
+                    }
+                }
+            }
+            zones = zones.checked_add(1).expect("zone count overflow");
+        }
+        // Top-layer (and any unreachable) switches: one zone each.
+        for z in zone.iter_mut().take(nn).skip(self.hosts) {
+            if *z == u16::MAX {
+                *z = zones;
+                zones = zones.checked_add(1).expect("zone count overflow");
+            }
+        }
+        // Hosts inherit their access switch's zone.
+        for h in 0..self.hosts {
+            zone[h] = zone[self.access_switch(NodeId(h as u32)).index()];
+        }
+        debug_assert!(
+            zone.iter().all(|&z| z != u16::MAX),
+            "partition must cover every node exactly once"
+        );
+        let out: Vec<u16> = zone.iter().map(|&z| z % n as u16).collect();
+        debug_assert_eq!(out.len(), nn, "one domain entry per node");
+        debug_assert!(
+            out.iter().all(|&d| (d as usize) < n),
+            "domain index out of range"
+        );
+        out
+    }
+
     /// BFS distances (in switch hops) from `src_switch` to every switch.
     fn switch_dists(&self, src_switch: NodeId) -> Vec<u32> {
         let n = self.num_nodes();
@@ -478,6 +593,70 @@ mod tests {
             csr.total_entries(),
             nested.iter().flatten().map(Vec::len).sum()
         );
+    }
+
+    #[test]
+    fn min_prop_delay_is_the_smallest_link_latency() {
+        let t = Topology::leaf_spine(
+            2,
+            2,
+            2,
+            LinkParams::gbps(10, 500),
+            LinkParams::gbps(40, 700),
+        );
+        assert_eq!(t.min_prop_delay(), SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn partition_zones_follow_structure() {
+        // Leaf-spine: each leaf (plus its hosts) is a zone, each spine its
+        // own zone. With n = leaves, rack h/hpl lands in domain (h/hpl) % n.
+        let t = Topology::leaf_spine(
+            2,
+            4,
+            3,
+            LinkParams::gbps(10, 500),
+            LinkParams::gbps(40, 500),
+        );
+        let d = t.partition(4);
+        assert_eq!(d.len(), t.num_nodes());
+        for h in 0..t.hosts {
+            assert_eq!(d[h], ((h / 3) % 4) as u16, "host {h} in its rack's domain");
+            assert_eq!(d[h], d[t.access_switch(NodeId(h as u32)).index()]);
+        }
+        // Fat-tree: hosts of one pod share a domain with their pod switches.
+        let t = Topology::fat_tree(4, LinkParams::gbps(10, 500));
+        let d = t.partition(4);
+        let hosts_per_pod = 4; // (k/2)^2
+        for (h, &dom) in d.iter().enumerate().take(t.hosts) {
+            let pod = h / hosts_per_pod;
+            assert_eq!(dom, (pod % 4) as u16, "host {h} in its pod's domain");
+        }
+        // Every pod switch is in its pod's domain; cores are distributed.
+        for p in 0..4 {
+            for sw in 0..4 {
+                let id = t.hosts + p * 4 + sw;
+                assert_eq!(d[id], (p % 4) as u16, "pod switch {id}");
+            }
+        }
+        // n = 1 puts everything in domain 0.
+        assert!(t.partition(1).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn fat_tree_scales_to_k16_and_k32() {
+        for (k, hosts, switches) in [(16usize, 1024, 320), (32usize, 8192, 1280)] {
+            let t = Topology::fat_tree(k, LinkParams::gbps(10, 500));
+            assert_eq!(t.hosts, hosts, "k={k} host count");
+            assert_eq!(t.switches, switches, "k={k} switch count");
+            t.validate().unwrap_or_else(|e| panic!("k={k}: {e}"));
+            // One zone per pod plus one per core.
+            let d = t.partition(k);
+            let hosts_per_pod = (k / 2) * (k / 2);
+            for h in (0..t.hosts).step_by(hosts_per_pod / 2) {
+                assert_eq!(d[h], ((h / hosts_per_pod) % k) as u16);
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! marking → NIC serialization) and the RX path (ordering → receiver →
 //! ACK generation), driven directly with hand-made events.
 
-use vertigo_netsim::{Ctx, Event, Host, HostConfig, LinkParams};
+use vertigo_netsim::{Ctx, Event, EventSink, Host, HostConfig, LinkParams};
 use vertigo_pkt::{
     DataSeg, Ecn, FlowId, NodeId, Packet, PacketKind, PortId, QueryId, FLOWINFO_OVERHEAD_BYTES,
 };
@@ -32,7 +32,7 @@ impl Harness {
     fn ctx(&mut self) -> Ctx<'_> {
         Ctx {
             now: self.events.now(),
-            events: &mut self.events,
+            events: EventSink::direct(&mut self.events),
             rec: &mut self.rec,
             rng: &mut self.rng,
         }
@@ -53,7 +53,7 @@ impl Harness {
                     assert_eq!(node, ME);
                     let mut ctx = Ctx {
                         now: self.events.now(),
-                        events: &mut self.events,
+                        events: EventSink::direct(&mut self.events),
                         rec: &mut self.rec,
                         rng: &mut self.rng,
                     };
@@ -146,10 +146,13 @@ fn rx_path_receives_and_acks() {
     assert_eq!(last.cum_ack, 2 * 1460);
     assert_eq!(h.rec.data_delivered, 2);
     assert_eq!(h.rec.goodput_bytes, 2 * 1460);
-    assert!(
-        h.rec.flows.is_empty(),
-        "receiver side does not own the flow record"
-    );
+    // The receiver does not own the flow's metadata (the sender registered
+    // it, possibly in another domain's recorder); it accrues progress on a
+    // placeholder record that the domain engine reconciles at merge time.
+    let stub = &h.rec.flows[&FlowId(9)];
+    assert_eq!(stub.src, NodeId(u32::MAX), "placeholder, not a real record");
+    assert_eq!(stub.delivered_bytes, 2 * 1460);
+    assert!(stub.finished.is_some());
 }
 
 #[test]

@@ -8,7 +8,8 @@
 #![cfg(feature = "trace")]
 
 use vertigo_netsim::{
-    Ctx, Event, ForwardPolicy, LinkParams, Port, PortQueue, RouteTable, Switch, SwitchConfig,
+    Ctx, Event, EventSink, ForwardPolicy, LinkParams, Port, PortQueue, RouteTable, Switch,
+    SwitchConfig,
 };
 use vertigo_pkt::{DataSeg, FlowId, FlowInfo, NodeId, Packet, PortId, QueryId};
 use vertigo_simcore::{EventQueue, SimRng, SimTime};
@@ -58,7 +59,7 @@ impl Harness {
     fn ctx(&mut self) -> Ctx<'_> {
         Ctx {
             now: self.events.now(),
-            events: &mut self.events,
+            events: EventSink::direct(&mut self.events),
             rec: &mut self.rec,
             rng: &mut self.rng,
         }

@@ -3,7 +3,8 @@
 //! exercised on a hand-built switch with inspectable ports.
 
 use vertigo_netsim::{
-    BufferPolicy, Ctx, Event, LinkParams, Port, PortQueue, RouteTable, Switch, SwitchConfig,
+    BufferPolicy, Ctx, Event, EventSink, LinkParams, Port, PortQueue, RouteTable, Switch,
+    SwitchConfig,
 };
 use vertigo_pkt::{DataSeg, FlowId, FlowInfo, NodeId, Packet, PortId, QueryId, MAX_HOPS};
 use vertigo_simcore::{EventQueue, SimRng, SimTime};
@@ -53,7 +54,7 @@ impl Harness {
     fn ctx(&mut self) -> Ctx<'_> {
         Ctx {
             now: self.events.now(),
-            events: &mut self.events,
+            events: EventSink::direct(&mut self.events),
             rec: &mut self.rec,
             rng: &mut self.rng,
         }

@@ -1,0 +1,235 @@
+//! Domain-decomposition primitives for conservative parallel simulation.
+//!
+//! A parallel run partitions the model into *domains*, each owning a
+//! private [`crate::EventQueue`]. Domains advance in lockstep windows
+//! bounded by a *lookahead* — the minimum latency any interaction needs
+//! to cross from one domain into another. Two pieces live here because
+//! they are model-agnostic:
+//!
+//! * [`LookaheadGrid`] — the window arithmetic. Windows end on multiples
+//!   of the lookahead quantum, which makes the barrier schedule a pure
+//!   function of event *times* (never of how the model was partitioned).
+//! * [`Mailbox`] — the deterministic cross-domain exchange buffer. All
+//!   deliveries routed through it are re-injected in a canonical
+//!   `(arrival time, send time, key)` order, independent of which domain
+//!   produced them or in what order threads finished.
+//!
+//! Both are deliberately dumb data structures: the driving loop (who
+//! drains what, when threads run) belongs to the model layer.
+
+use crate::SimTime;
+use std::collections::BTreeMap;
+
+/// Window arithmetic for a conservative lookahead barrier.
+///
+/// The quantum is the minimum cross-domain latency: any interaction
+/// emitted at time `t` lands at `t + quantum` or later, so a window
+/// `(start, end]` with `end - start <= quantum` can be simulated by all
+/// domains independently — nothing sent inside the window can be
+/// received inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookaheadGrid {
+    quantum_ns: u64,
+}
+
+impl LookaheadGrid {
+    /// Creates a grid with the given lookahead quantum.
+    ///
+    /// # Panics
+    /// Panics if `quantum_ns` is zero: a zero-latency interaction makes
+    /// conservative windowing impossible (every window would be empty).
+    pub fn new(quantum_ns: u64) -> Self {
+        assert!(
+            quantum_ns > 0,
+            "lookahead quantum must be positive: a zero-latency cross-domain \
+             link admits no conservative window"
+        );
+        LookaheadGrid { quantum_ns }
+    }
+
+    /// The lookahead quantum in nanoseconds.
+    pub fn quantum_ns(&self) -> u64 {
+        self.quantum_ns
+    }
+
+    /// The earliest grid point *strictly after* `t`.
+    ///
+    /// Windows always end on grid points, so a window that starts at the
+    /// earliest pending event time `t` spans at most one quantum — the
+    /// conservative bound. Strictness matters: an event exactly on a grid
+    /// point still needs a non-empty window to execute in.
+    pub fn ceil_after(&self, t: SimTime) -> SimTime {
+        let q = self.quantum_ns;
+        SimTime::from_nanos((t.as_nanos() / q + 1).saturating_mul(q))
+    }
+}
+
+/// One buffered cross-domain delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxKey {
+    /// When the delivery lands.
+    pub at: SimTime,
+    /// When it was sent (the simulation clock at push time).
+    pub sent: SimTime,
+    /// A globally unique, partition-independent tie-breaker.
+    pub key: u64,
+}
+
+/// Deterministic cross-domain exchange buffer.
+///
+/// Entries are stored keyed by `(at, sent, key)`; [`Mailbox::drain_until`]
+/// yields them in exactly that order. As long as `key` is unique and
+/// derived from content (not from partition layout), the injection order
+/// seen by every receiving domain is the same for any domain count.
+#[derive(Debug)]
+pub struct Mailbox<E> {
+    entries: BTreeMap<(u64, u64, u64), (E, u32)>,
+}
+
+impl<E> Default for Mailbox<E> {
+    fn default() -> Self {
+        Mailbox {
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+impl<E> Mailbox<E> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Number of buffered deliveries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Buffers a delivery from `src_domain`.
+    ///
+    /// # Panics
+    /// Panics if an entry with the same `(at, sent, key)` already exists:
+    /// keys must be unique or the merge order would be ambiguous.
+    pub fn push(&mut self, k: MailboxKey, ev: E, src_domain: u32) {
+        let prev = self.entries.insert(
+            (k.at.as_nanos(), k.sent.as_nanos(), k.key),
+            (ev, src_domain),
+        );
+        assert!(
+            prev.is_none(),
+            "mailbox key collision at t={:?} key={}: cross-domain merge order \
+             would be ambiguous",
+            k.at,
+            k.key
+        );
+    }
+
+    /// Earliest buffered arrival time, if any.
+    pub fn min_time(&self) -> Option<SimTime> {
+        self.entries
+            .keys()
+            .next()
+            .map(|&(at, _, _)| SimTime::from_nanos(at))
+    }
+
+    /// Removes and returns every delivery with `at <= limit`, in canonical
+    /// `(at, sent, key)` order.
+    pub fn drain_until(&mut self, limit: SimTime) -> Vec<(MailboxKey, E, u32)> {
+        let bound = limit.as_nanos();
+        let mut out = Vec::new();
+        while let Some((&(at, sent, key), _)) = self.entries.iter().next() {
+            if at > bound {
+                break;
+            }
+            let (ev, src) = self.entries.remove(&(at, sent, key)).unwrap();
+            out.push((
+                MailboxKey {
+                    at: SimTime::from_nanos(at),
+                    sent: SimTime::from_nanos(sent),
+                    key,
+                },
+                ev,
+                src,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_ceil_is_strictly_after() {
+        let g = LookaheadGrid::new(500);
+        assert_eq!(g.ceil_after(SimTime::ZERO), SimTime::from_nanos(500));
+        assert_eq!(
+            g.ceil_after(SimTime::from_nanos(499)),
+            SimTime::from_nanos(500)
+        );
+        // Exactly on a grid point -> next point, never the same one.
+        assert_eq!(
+            g.ceil_after(SimTime::from_nanos(500)),
+            SimTime::from_nanos(1000)
+        );
+        assert_eq!(
+            g.ceil_after(SimTime::from_nanos(501)),
+            SimTime::from_nanos(1000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = LookaheadGrid::new(0);
+    }
+
+    #[test]
+    fn mailbox_drains_in_canonical_order_regardless_of_push_order() {
+        let mut m: Mailbox<&'static str> = Mailbox::new();
+        let k = |at, sent, key| MailboxKey {
+            at: SimTime::from_nanos(at),
+            sent: SimTime::from_nanos(sent),
+            key,
+        };
+        // Push in scrambled "thread finish" order.
+        m.push(k(200, 100, 7), "c", 1);
+        m.push(k(100, 50, 9), "b", 0);
+        m.push(k(100, 10, 9), "a", 2);
+        m.push(k(300, 0, 1), "d", 0);
+        let got: Vec<_> = m
+            .drain_until(SimTime::from_nanos(200))
+            .into_iter()
+            .map(|(_, e, _)| e)
+            .collect();
+        assert_eq!(got, vec!["a", "b", "c"]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.min_time(), Some(SimTime::from_nanos(300)));
+        let rest: Vec<_> = m
+            .drain_until(SimTime::from_nanos(300))
+            .into_iter()
+            .map(|(_, e, _)| e)
+            .collect();
+        assert_eq!(rest, vec!["d"]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox key collision")]
+    fn duplicate_key_is_a_bug() {
+        let mut m: Mailbox<u8> = Mailbox::new();
+        let k = MailboxKey {
+            at: SimTime::from_nanos(5),
+            sent: SimTime::ZERO,
+            key: 42,
+        };
+        m.push(k, 1, 0);
+        m.push(k, 2, 1);
+    }
+}

@@ -9,7 +9,10 @@
 //!   binary-heap implementation is retained as [`HeapEventQueue`] and
 //!   selectable via [`EventBackend`] for differential testing,
 //! * [`SimRng`] — seeded randomness with forkable independent streams,
-//! * [`TimerSlot`] / [`TimerToken`] — O(1)-cancellable logical timers.
+//! * [`TimerSlot`] / [`TimerToken`] — O(1)-cancellable logical timers,
+//! * [`LookaheadGrid`] / [`Mailbox`] / [`WorkerPool`] — model-agnostic
+//!   building blocks for conservative parallel (domain-partitioned)
+//!   simulation with deterministic cross-domain merge order.
 //!
 //! Determinism contract: given the same seed and the same sequence of
 //! `push`/`pop` calls, a simulation built on these primitives produces
@@ -19,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod barrier;
+mod domain;
 mod event;
 mod heapq;
 mod rng;
@@ -27,6 +32,8 @@ mod time;
 mod timer;
 mod wheel;
 
+pub use barrier::WorkerPool;
+pub use domain::{LookaheadGrid, Mailbox, MailboxKey};
 pub use event::{EventBackend, EventQueue};
 pub use heapq::HeapEventQueue;
 pub use rng::SimRng;

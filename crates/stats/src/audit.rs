@@ -144,6 +144,22 @@ impl AuditHooks {
         Ok(())
     }
 
+    /// Adds another recorder's custody tallies into this one (domain-
+    /// engine merge). A no-op without the `audit` feature.
+    pub fn absorb(&mut self, other: &AuditHooks) {
+        #[cfg(feature = "audit")]
+        {
+            self.created += other.created;
+            self.consumed += other.consumed;
+            self.wire += other.wire;
+            self.checks += other.checks;
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            let _ = other;
+        }
+    }
+
     /// Number of invariant evaluations performed (0 without `audit`).
     pub fn checks(&self) -> u64 {
         #[cfg(feature = "audit")]

@@ -222,11 +222,31 @@ impl Recorder {
 
     /// Records `delta` newly delivered unique bytes for `flow` (goodput
     /// numerator + per-flow progress for elephant-goodput accounting).
+    ///
+    /// In the domain-partitioned engine the receiver's recorder may not
+    /// hold the flow's metadata (the sender registered it in another
+    /// domain); progress then accrues on a placeholder record that
+    /// [`Recorder::absorb`] reconciles with the real one at merge time.
     pub fn flow_progress(&mut self, flow: FlowId, delta: u64) {
         self.goodput_bytes += delta;
-        if let Some(rec) = self.flows.get_mut(&flow) {
-            rec.delivered_bytes += delta;
-        }
+        self.flow_stub(flow).delivered_bytes += delta;
+    }
+
+    /// The record for `flow`, creating a placeholder (recognizable by
+    /// `src == NodeId(u32::MAX)`) if the metadata lives in another
+    /// domain's recorder. The classic engine never takes the placeholder
+    /// path: every `flow_started` precedes any progress/finish.
+    fn flow_stub(&mut self, flow: FlowId) -> &mut FlowRecord {
+        self.flows.entry(flow).or_insert_with(|| FlowRecord {
+            flow,
+            query: QueryId::NONE,
+            src: NodeId(u32::MAX),
+            dst: NodeId(u32::MAX),
+            bytes: 0,
+            start: SimTime::ZERO,
+            finished: None,
+            delivered_bytes: 0,
+        })
     }
 
     /// Registers a query fan-out (call before starting its flows).
@@ -245,9 +265,7 @@ impl Recorder {
 
     /// Marks a flow finished (receiver has every byte), updating its query.
     pub fn flow_finished(&mut self, flow: FlowId, at: SimTime) {
-        let Some(rec) = self.flows.get_mut(&flow) else {
-            return;
-        };
+        let rec = self.flow_stub(flow);
         if rec.finished.is_some() {
             return;
         }
@@ -260,6 +278,86 @@ impl Recorder {
                     qr.finished = Some(at);
                 }
             }
+        }
+    }
+
+    /// Merges a domain recorder into this one. Every counter is a sum and
+    /// flow records reconcile symmetrically (metadata from whichever side
+    /// registered the flow, progress summed, earliest finish wins — with
+    /// per-flow state owned by exactly one domain there is never a
+    /// conflicting pair), so absorbing domain recorders in any order
+    /// yields the same result. Query completion state is *not* rebuilt
+    /// here; call [`Recorder::recompute_queries`] once after the last
+    /// absorb.
+    ///
+    /// The trace sink is intentionally untouched: tracing and the domain
+    /// engine are mutually exclusive.
+    pub fn absorb(&mut self, other: Recorder) {
+        for (id, o) in other.flows {
+            match self.flows.entry(id) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(o);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let a = e.get_mut();
+                    if a.src == NodeId(u32::MAX) {
+                        // `a` is a placeholder: adopt `o`'s identity.
+                        a.query = o.query;
+                        a.src = o.src;
+                        a.dst = o.dst;
+                        a.bytes = o.bytes;
+                        a.start = o.start;
+                    }
+                    a.delivered_bytes += o.delivered_bytes;
+                    a.finished = a.finished.or(o.finished);
+                }
+            }
+        }
+        for (id, o) in other.queries {
+            self.queries.entry(id).or_insert(o);
+        }
+        for (d, o) in self.drops.iter_mut().zip(other.drops) {
+            *d += o;
+        }
+        self.dropped_bytes += other.dropped_bytes;
+        self.deflections += other.deflections;
+        self.trims += other.trims;
+        self.ecn_marks += other.ecn_marks;
+        self.data_delivered += other.data_delivered;
+        self.hops_delivered += other.hops_delivered;
+        self.goodput_bytes += other.goodput_bytes;
+        self.transport_reorders += other.transport_reorders;
+        self.data_sent += other.data_sent;
+        self.retransmits += other.retransmits;
+        self.rtos += other.rtos;
+        self.mice_queueing_secs += other.mice_queueing_secs;
+        self.mice_queueing_pkts += other.mice_queueing_pkts;
+        self.fault_events += other.fault_events;
+        self.audit.absorb(&other.audit);
+    }
+
+    /// Rebuilds every query's `done_flows`/`finished` from the flow
+    /// records — the merge-order-independent replacement for the
+    /// incremental bookkeeping [`Recorder::flow_finished`] does when flow
+    /// and query live in the same recorder.
+    pub fn recompute_queries(&mut self) {
+        let mut finished: BTreeMap<QueryId, Vec<SimTime>> = BTreeMap::new();
+        for f in self.flows.values() {
+            if f.query.is_query() {
+                if let Some(t) = f.finished {
+                    finished.entry(f.query).or_default().push(t);
+                }
+            }
+        }
+        for qr in self.queries.values_mut() {
+            let mut times = finished.remove(&qr.query).unwrap_or_default();
+            times.sort_unstable();
+            qr.done_flows = times.len() as u32;
+            // The query finishes at its expected_flows-th reply (the
+            // incremental path triggers on the finish that reaches the
+            // threshold, i.e. the first finish for a zero-fan-out query).
+            let need = qr.expected_flows.max(1) as usize;
+            qr.finished = (times.len() >= need).then(|| times[need - 1]);
         }
     }
 

@@ -74,6 +74,22 @@ pub struct Report {
     /// show up here as a spike over quiet runs.
     pub peak_pending_events: u64,
 
+    /// Domain count of the parallel engine that produced this report
+    /// (0: the classic single-queue engine). Like `audit_checks`, the
+    /// four domain-engine fields below are excluded from every
+    /// stdout/CSV table so `--domains N` output stays byte-identical to
+    /// `--domains 1` and to historical tables.
+    pub domains: u64,
+    /// Lookahead barrier epochs executed by the domain engine.
+    pub barrier_epochs: u64,
+    /// Packets that crossed a domain boundary through the barrier
+    /// mailbox. Depends on the partition (not domain-count-invariant) —
+    /// a load-balance diagnostic, not a result.
+    pub cross_domain_packets: u64,
+    /// Per-domain high-water marks of pending events in each domain's
+    /// wheel. Length equals `domains`; partition-dependent diagnostic.
+    pub domain_peak_pending: Vec<u64>,
+
     /// Fault-injection interventions (fault drops + stall/pause event
     /// deferrals). Zero on fault-free runs.
     pub fault_events: u64,
@@ -159,6 +175,10 @@ impl Report {
             ecn_marks: rec.ecn_marks,
             events_scheduled: 0,
             peak_pending_events: 0,
+            domains: 0,
+            barrier_epochs: 0,
+            cross_domain_packets: 0,
+            domain_peak_pending: Vec::new(),
             fault_events: rec.fault_events,
             audit_checks: rec.audit.checks(),
             fct_samples: fct,

@@ -13,8 +13,8 @@ use std::path::{Path, PathBuf};
 use vertigo_core::{MarkingConfig, MarkingDiscipline, OrderingConfig, OrderingMode};
 use vertigo_netsim::trace::stable_hash;
 use vertigo_netsim::{
-    BufferPolicy, FaultSchedule, ForwardPolicy, HostConfig, SimConfig, Simulation, SwitchConfig,
-    TopologySpec, TraceSpec,
+    BufferPolicy, DomainSimulation, FaultSchedule, ForwardPolicy, HostConfig, SimConfig,
+    Simulation, SwitchConfig, TopologySpec, TraceSpec,
 };
 use vertigo_simcore::{EventBackend, SimDuration, SimTime, SnapReader, SNAPSHOT_AVAILABLE};
 use vertigo_stats::{Report, TRACE_AVAILABLE, TRACE_HEADER_BYTES, TRACE_RECORD_BYTES};
@@ -138,6 +138,12 @@ pub struct RunSpec {
     /// their own RNG stream, so two specs differing only here offer
     /// identical traffic.
     pub faults: FaultSchedule,
+    /// Domain count for the conservative-parallel engine. `None` runs the
+    /// classic single-queue engine unchanged; `Some(n)` (any n ≥ 1,
+    /// including 1) runs the barrier-synchronized domain engine, whose
+    /// results are byte-identical for every `n` but follow a different —
+    /// equally valid — tie-breaking order than the classic engine.
+    pub domains: Option<usize>,
 }
 
 /// What a run produced.
@@ -172,6 +178,7 @@ impl RunSpec {
             port_buffer_bytes: 300 * 1000,
             event_backend: EventBackend::default(),
             faults: FaultSchedule::new(),
+            domains: None,
         }
     }
 
@@ -316,6 +323,25 @@ impl RunSpec {
         trace: Option<&TraceSpec>,
         snapshot: Option<&SnapshotSpec>,
     ) -> RunOutput {
+        if let Some(n) = self.domains {
+            // The domain engine has no provenance hooks and no quiescent
+            // single-queue state to checkpoint; combining the flags would
+            // silently produce an empty trace or an unrestorable snapshot,
+            // so refuse loudly instead. Checked before the feature-gate
+            // asserts below so the message is the same in every build.
+            assert!(
+                trace.is_none(),
+                "packet tracing requires the classic engine: \
+                 drop either --trace or --domains"
+            );
+            assert!(
+                snapshot.is_none_or(|s| !s.is_active()),
+                "checkpoint/resume requires the classic engine: \
+                 drop either --checkpoint-every/--resume or --domains"
+            );
+            return self.run_domains(n);
+        }
+
         // Deliberately *runtime* asserts, not const blocks: plain builds
         // must compile and only fail if the option is actually requested.
         #[allow(clippy::assertions_on_constants)]
@@ -401,6 +427,26 @@ impl RunSpec {
         }
     }
 
+    /// Runs this spec on the conservative-parallel domain engine with `n`
+    /// domains. The report is byte-identical for every `n` (CI enforces
+    /// `--domains 2` ≡ `--domains 1` on both event backends).
+    fn run_domains(&self, n: usize) -> RunOutput {
+        let sim = self.build();
+        let offered = self
+            .workload
+            .offered_load(sim.topology().total_host_bw_bps());
+        let mut dsim = DomainSimulation::from_sim(sim, n);
+        let report = dsim.run();
+        RunOutput {
+            ordering: dsim.ordering_stats(),
+            marking: dsim.marking_stats(),
+            max_port_bytes: dsim.max_port_bytes(),
+            offered_load: offered,
+            trace_path: None,
+            report,
+        }
+    }
+
     /// Resolves and applies a `--resume` argument. Returns the resumed
     /// checkpoint's sim time, or `None` (with a stderr notice) when there
     /// is nothing on disk to resume from — the latter keeps `--resume`
@@ -477,6 +523,15 @@ mod tests {
     use super::*;
     use crate::dists::DistKind;
     use crate::traffic::{BackgroundSpec, IncastSpec};
+
+    /// Panic payloads are `&str` for literal messages and `String` for
+    /// formatted ones; tests below check both kinds.
+    fn panic_text(err: &(dyn std::any::Any + Send)) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default()
+    }
 
     fn quick_workload() -> WorkloadSpec {
         WorkloadSpec {
@@ -606,6 +661,42 @@ mod tests {
             format!("{:?}", traced.report)
         );
         assert!(traced.trace_path.is_none());
+    }
+
+    #[test]
+    fn domains_rejects_trace() {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(1);
+        spec.domains = Some(2);
+        let err = std::panic::catch_unwind(move || {
+            let trace = TraceSpec::parse("out/run.vtrace").unwrap();
+            spec.run_with_trace(Some(&trace))
+        })
+        .expect_err("--trace + --domains must panic, in every build");
+        let msg = panic_text(&*err);
+        assert!(msg.contains("drop either --trace or --domains"), "{msg}");
+    }
+
+    #[test]
+    fn domains_rejects_snapshot_options() {
+        let mut spec = RunSpec::new(SystemKind::Vertigo, CcKind::Dctcp, quick_workload());
+        spec.topo = TopoKind::LeafSpine { hosts_per_leaf: 4 };
+        spec.horizon = SimDuration::from_millis(1);
+        spec.domains = Some(2);
+        let err = std::panic::catch_unwind(move || {
+            let snap = SnapshotSpec {
+                checkpoint: None,
+                resume: Some("nowhere.vsnp".into()),
+            };
+            spec.run_with_options(None, Some(&snap))
+        })
+        .expect_err("--resume + --domains must panic, in every build");
+        let msg = panic_text(&*err);
+        assert!(
+            msg.contains("drop either --checkpoint-every/--resume or --domains"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -87,6 +87,23 @@ for f in "$base"/tstraight/*.vtrace; do
     diff "$f" "$base/tresume/$(basename "$f")" > /dev/null
 done
 
+echo "==> domain equivalence: --domains 2 vs --domains 1 digest (both backends, faults active)"
+DOMDIR=/tmp/vertigo_domains_ci
+rm -rf "$DOMDIR"
+for ev in wheel heap; do
+  base="$DOMDIR/$ev"
+  mkdir -p "$base"
+  for n in 1 2; do
+    cargo run --release --quiet -p vertigo-experiments --bin experiments -- \
+      fig5 --quick --events "$ev" --faults "$FAULTS" --out "$base/d$n" \
+      --domains "$n" \
+      | grep -v '^\[csv\]' > "$base/d$n.txt"
+  done
+  # The domain count must be unobservable: same stdout, same CSVs.
+  diff "$base/d1.txt" "$base/d2.txt"
+  diff -r "$base/d1" "$base/d2"
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -185,3 +185,55 @@ fn table1_defaults_are_encoded() {
     // 4000*100*40KB*8 = 128 Gbps of 3.2 Tbps = 4 %.
     assert!((load - 0.04).abs() < 1e-9);
 }
+
+/// The domain engine at datacenter scale: a k = 16 fat-tree (1024 hosts,
+/// 320 switches) partitioned into 16 per-pod domains completes a short
+/// traffic window. Paper-scale k = 16 runs only under
+/// `VERTIGO_TIMING_TESTS=1` (the suite's opt-in gate for slow runs); the
+/// default suite exercises the same path at k = 4 so it never goes
+/// untested.
+#[test]
+fn big_fat_tree_runs_on_the_domain_engine() {
+    use vertigo::simcore::SimDuration;
+    use vertigo::transport::CcKind;
+    use vertigo::workload::{
+        BackgroundSpec, DistKind, RunSpec, SystemKind, TopoKind, WorkloadSpec,
+    };
+
+    let full = std::env::var_os("VERTIGO_TIMING_TESTS").is_some_and(|v| v == "1");
+    let (k, horizon, domains) = if full {
+        (16, SimDuration::from_millis(2), 16)
+    } else {
+        (4, SimDuration::from_micros(500), 4)
+    };
+    let mut spec = RunSpec::new(
+        SystemKind::Ecmp,
+        CcKind::Dctcp,
+        WorkloadSpec {
+            background: Some(BackgroundSpec {
+                load: 0.10,
+                dist: DistKind::WebSearch,
+            }),
+            incast: None,
+        },
+    );
+    spec.topo = TopoKind::FatTree { k };
+    spec.horizon = horizon;
+    spec.domains = Some(domains);
+    let t0 = std::time::Instant::now();
+    let out = spec.run();
+    eprintln!(
+        "k = {k} fat-tree, {domains} domains: {} flows started, \
+         {} barrier epochs, {:.1?} wall clock",
+        out.report.flows_started,
+        out.report.barrier_epochs,
+        t0.elapsed()
+    );
+    assert!(
+        out.report.flows_started > 0,
+        "background traffic must start"
+    );
+    assert_eq!(out.report.domains, domains as u64);
+    assert_eq!(out.report.domain_peak_pending.len(), domains);
+    assert!(out.report.barrier_epochs > 0);
+}
